@@ -1,0 +1,245 @@
+package cjoin_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	cjoin "cjoin"
+)
+
+// buildTinyWarehouse creates a small hand-made star: sales(fact) with
+// stores and products dimensions.
+func buildTinyWarehouse(t *testing.T) *cjoin.Warehouse {
+	t.Helper()
+	w := cjoin.NewWarehouse(cjoin.DiskModel{})
+	stores, err := w.CreateDimension("stores", []cjoin.Column{
+		{Name: "s_id", Type: cjoin.Int},
+		{Name: "s_region", Type: cjoin.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, err := w.CreateDimension("products", []cjoin.Column{
+		{Name: "p_id", Type: cjoin.Int},
+		{Name: "p_color", Type: cjoin.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sales, err := w.CreateFact("sales", []cjoin.Column{
+		{Name: "store_id", Type: cjoin.Int},
+		{Name: "product_id", Type: cjoin.Int},
+		{Name: "amount", Type: cjoin.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"EAST", "WEST"}
+	for i := 1; i <= 10; i++ {
+		if err := stores.Append(i, regions[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	colors := []string{"red", "blue", "green"}
+	for i := 1; i <= 9; i++ {
+		if err := products.Append(i, colors[i%3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 900; i++ {
+		if err := sales.Append(i%10+1, i%9+1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.DefineStar("sales", []cjoin.Join{
+		{Dimension: "stores", ForeignKey: "store_id", Key: "s_id"},
+		{Dimension: "products", ForeignKey: "product_id", Key: "p_id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWarehouseEndToEnd(t *testing.T) {
+	w := buildTinyWarehouse(t)
+	p, err := w.OpenPipeline(cjoin.PipelineOptions{MaxConcurrent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	q, err := p.Query(`SELECT SUM(amount), COUNT(*), s_region FROM sales, stores
+		WHERE store_id = s_id AND s_region = 'EAST' GROUP BY s_region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("rows %d", res.NumRows())
+	}
+	row := res.Row(0)
+	if row[0].String() != "EAST" {
+		t.Fatalf("region decoded as %q", row[0])
+	}
+	// Baseline must agree.
+	b, err := w.BaselineEngine("systemx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := b.Query(`SELECT SUM(amount), COUNT(*), s_region FROM sales, stores
+		WHERE store_id = s_id AND s_region = 'EAST' GROUP BY s_region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Row(0)[1].Int() != row[1].Int() || bres.Row(0)[2].Int() != row[2].Int() {
+		t.Fatalf("baseline disagrees: cjoin=%v baseline=%v", row, bres.Row(0))
+	}
+	if !strings.Contains(res.Format(), "EAST") {
+		t.Fatal("Format must include decoded group value")
+	}
+}
+
+func TestConcurrentPublicQueries(t *testing.T) {
+	w := buildTinyWarehouse(t)
+	p, err := w.OpenPipeline(cjoin.PipelineOptions{MaxConcurrent: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, err := p.Query("SELECT COUNT(*) FROM sales, products WHERE product_id = p_id AND p_color = 'red'")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := q.Wait()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Row(0)[0].Int() != 300 {
+				t.Errorf("count %d, want 300", res.Row(0)[0].Int())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSnapshotUpdatesPublicAPI(t *testing.T) {
+	w := buildTinyWarehouse(t)
+	p, err := w.OpenPipeline(cjoin.PipelineOptions{MaxConcurrent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	before := w.Begin()
+	if _, err := w.CommitFacts([][]any{{1, 1, 1000}, {2, 2, 2000}}); err != nil {
+		t.Fatal(err)
+	}
+	qOld, err := p.QueryAt("SELECT COUNT(*) FROM sales, stores WHERE store_id = s_id", before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qNew, err := p.Query("SELECT COUNT(*) FROM sales, stores WHERE store_id = s_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOld, err := qOld.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNew, err := qNew.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOld.Row(0)[0].Int() != 900 {
+		t.Fatalf("old snapshot count %d", resOld.Row(0)[0].Int())
+	}
+	if resNew.Row(0)[0].Int() != 902 {
+		t.Fatalf("new snapshot count %d", resNew.Row(0)[0].Int())
+	}
+	// Delete one pre-existing row.
+	if _, err := w.DeleteFact(0); err != nil {
+		t.Fatal(err)
+	}
+	qDel, err := p.Query("SELECT COUNT(*) FROM sales, stores WHERE store_id = s_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDel, err := qDel.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDel.Row(0)[0].Int() != 901 {
+		t.Fatalf("post-delete count %d", resDel.Row(0)[0].Int())
+	}
+}
+
+func TestOpenSSBAndWorkload(t *testing.T) {
+	w, err := cjoin.OpenSSB(cjoin.SSBOptions{SF: 1, FactRowsPerSF: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.OpenPipeline(cjoin.PipelineOptions{MaxConcurrent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	wl := w.NewWorkload(0.1, 7)
+	for i := 0; i < 3; i++ {
+		id, sqlText := wl.Next()
+		if id == "" || sqlText == "" {
+			t.Fatal("empty workload query")
+		}
+		q, err := p.Query(sqlText)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if _, err := q.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(cjoin.TemplateIDs()) != 10 {
+		t.Fatalf("templates %v", cjoin.TemplateIDs())
+	}
+	if _, err := wl.FromTemplate("Q4.2"); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.TuplesScanned == 0 || s.ScanCycles == 0 && s.PagesRead == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	w := cjoin.NewWarehouse(cjoin.DiskModel{})
+	if _, err := w.OpenPipeline(cjoin.PipelineOptions{}); err == nil {
+		t.Fatal("pipeline without star must fail")
+	}
+	if _, err := w.CreateFact("f", []cjoin.Column{{Name: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.CreateFact("f2", []cjoin.Column{{Name: "a"}}); err == nil {
+		t.Fatal("second fact table must fail")
+	}
+	if _, err := w.CreateDimension("f", nil); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+	if err := w.DefineStar("nope", nil); err == nil {
+		t.Fatal("unknown fact must fail")
+	}
+	ft := w.Tables()["f"]
+	_ = ft
+	if _, err := w.BaselineEngine("oracle"); err == nil {
+		t.Fatal("unknown baseline must fail")
+	}
+}

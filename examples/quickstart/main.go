@@ -1,0 +1,100 @@
+// Quickstart: build a tiny star-schema warehouse by hand, open the
+// always-on CJOIN pipeline, and run a handful of concurrent star queries
+// against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	cjoin "cjoin"
+)
+
+func main() {
+	w := cjoin.NewWarehouse(cjoin.DiskModel{})
+
+	stores, err := w.CreateDimension("stores", []cjoin.Column{
+		{Name: "s_id", Type: cjoin.Int},
+		{Name: "s_city", Type: cjoin.String},
+		{Name: "s_region", Type: cjoin.String},
+	})
+	must(err)
+	products, err := w.CreateDimension("products", []cjoin.Column{
+		{Name: "p_id", Type: cjoin.Int},
+		{Name: "p_category", Type: cjoin.String},
+	})
+	must(err)
+	sales, err := w.CreateFact("sales", []cjoin.Column{
+		{Name: "store_id", Type: cjoin.Int},
+		{Name: "product_id", Type: cjoin.Int},
+		{Name: "quantity", Type: cjoin.Int},
+		{Name: "amount", Type: cjoin.Int},
+	})
+	must(err)
+
+	cities := []struct{ city, region string }{
+		{"Lyon", "EUROPE"}, {"Paris", "EUROPE"}, {"Boston", "AMERICA"},
+		{"Tokyo", "ASIA"}, {"Seattle", "AMERICA"}, {"Nice", "EUROPE"},
+	}
+	for i, c := range cities {
+		must(stores.Append(i+1, c.city, c.region))
+	}
+	categories := []string{"games", "books", "tools"}
+	for i, cat := range categories {
+		must(products.Append(i+1, cat))
+	}
+	for i := 0; i < 50000; i++ {
+		must(sales.Append(i%len(cities)+1, i%len(categories)+1, i%7+1, (i*37)%500))
+	}
+
+	must(w.DefineStar("sales", []cjoin.Join{
+		{Dimension: "stores", ForeignKey: "store_id", Key: "s_id"},
+		{Dimension: "products", ForeignKey: "product_id", Key: "p_id"},
+	}))
+
+	p, err := w.OpenPipeline(cjoin.PipelineOptions{MaxConcurrent: 16})
+	must(err)
+	defer p.Close()
+
+	// Several ad-hoc star queries share one continuous scan of `sales`.
+	queries := []string{
+		`SELECT SUM(amount) AS revenue, s_region FROM sales, stores
+		   WHERE store_id = s_id GROUP BY s_region ORDER BY revenue DESC`,
+		`SELECT COUNT(*), AVG(quantity), p_category FROM sales, products
+		   WHERE product_id = p_id GROUP BY p_category ORDER BY p_category`,
+		`SELECT SUM(amount), s_city FROM sales, stores, products
+		   WHERE store_id = s_id AND product_id = p_id
+		     AND s_region = 'EUROPE' AND p_category = 'books'
+		   GROUP BY s_city ORDER BY s_city`,
+	}
+	var wg sync.WaitGroup
+	results := make([]*cjoin.Result, len(queries))
+	for i, text := range queries {
+		q, err := p.Query(text)
+		must(err)
+		wg.Add(1)
+		go func(i int, q *cjoin.RunningQuery) {
+			defer wg.Done()
+			res, err := q.Wait()
+			must(err)
+			results[i] = res
+		}(i, q)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		fmt.Printf("query %d:\n%s\n", i+1, res.Format())
+	}
+	st := p.Stats()
+	fmt.Printf("shared plan: %d tuples scanned over %d scan cycles for %d queries\n",
+		st.TuplesScanned, st.ScanCycles, len(queries))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Snapshot-isolated updates (§3.5 of the paper): queries pinned to
+// different snapshots run concurrently in the same CJOIN pipeline while
+// new sales keep being committed. Every query sees exactly the database
+// state of its snapshot, even though all of them share one continuous
+// scan.
+//
+//	go run ./examples/updates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cjoin "cjoin"
+)
+
+func main() {
+	w, err := cjoin.OpenSSB(cjoin.SSBOptions{SF: 1, FactRowsPerSF: 10000, Seed: 11})
+	must(err)
+	p, err := w.OpenPipeline(cjoin.PipelineOptions{MaxConcurrent: 16})
+	must(err)
+	defer p.Close()
+
+	count := "SELECT COUNT(*), SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey"
+
+	// A long-running report starts at the initial snapshot...
+	snap0 := w.Begin()
+	q0, err := p.QueryAt(count, snap0)
+	must(err)
+
+	// ...while two batches of new sales are committed behind it...
+	_, err = w.AppendSales(500, 1)
+	must(err)
+	snap1 := w.Begin()
+	q1, err := p.QueryAt(count, snap1)
+	must(err)
+
+	_, err = w.AppendSales(250, 2)
+	must(err)
+	q2, err := p.Query(count) // current snapshot
+	must(err)
+
+	// ...and all three queries share the same scan.
+	for i, q := range []*cjoin.RunningQuery{q0, q1, q2} {
+		res, err := q.Wait()
+		must(err)
+		fmt.Printf("snapshot %d: rows=%s  revenue=%s\n",
+			i, res.Row(0)[0], res.Row(0)[1])
+	}
+	fmt.Println("\neach query saw exactly its snapshot: 10000, 10500 and 10750 rows,")
+	fmt.Println("with no locking and no extra scans — visibility is just another")
+	fmt.Println("virtual fact-table predicate evaluated by the Preprocessor.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

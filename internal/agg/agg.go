@@ -1,0 +1,293 @@
+// Package agg implements the aggregation operators that terminate both
+// the CJOIN pipeline (one per registered query, fed by the Distributor)
+// and conventional star-query plans: hash-based and sort-based GROUP BY
+// with SUM, COUNT, MIN, MAX and AVG.
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cjoin/internal/expr"
+)
+
+// Func enumerates the supported SQL aggregate functions.
+type Func int
+
+// Aggregate functions.
+const (
+	Sum Func = iota
+	Count
+	Min
+	Max
+	Avg
+)
+
+var funcNames = [...]string{"SUM", "COUNT", "MIN", "MAX", "AVG"}
+
+func (f Func) String() string { return funcNames[f] }
+
+// ParseFunc maps an upper-case SQL function name to a Func.
+func ParseFunc(name string) (Func, bool) {
+	for i, n := range funcNames {
+		if n == name {
+			return Func(i), true
+		}
+	}
+	return 0, false
+}
+
+// Spec describes one aggregate output column. Arg is nil for COUNT(*).
+type Spec struct {
+	Fn   Func
+	Arg  expr.Node
+	Name string
+}
+
+func (s Spec) String() string {
+	if s.Arg == nil {
+		return s.Fn.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", s.Fn, s.Arg)
+}
+
+// Result is one output group. Ints holds, per spec, the SUM/MIN/MAX value,
+// the COUNT, or the running sum for AVG; Counts holds the per-spec row
+// count that AVG divides by.
+type Result struct {
+	Group  []int64
+	Ints   []int64
+	Counts []int64
+}
+
+// Value returns the final value of aggregate column i under spec.
+func (r Result) Value(i int, spec Spec) float64 {
+	if spec.Fn == Avg {
+		if r.Counts[i] == 0 {
+			return 0
+		}
+		return float64(r.Ints[i]) / float64(r.Counts[i])
+	}
+	return float64(r.Ints[i])
+}
+
+// Aggregator consumes joined rows and produces grouped results.
+type Aggregator interface {
+	// Add folds one joined row into the aggregate state.
+	Add(j *expr.Joined)
+	// Results returns the groups sorted by group key. It may be called
+	// once, after the last Add.
+	Results() []Result
+}
+
+type bucket struct {
+	group  []int64
+	ints   []int64
+	counts []int64
+}
+
+// Hash is a hash-based aggregator.
+type Hash struct {
+	specs   []Spec
+	groupBy []expr.Node
+	m       map[string]*bucket
+	keyBuf  []byte
+	valBuf  []int64
+	rows    int64
+}
+
+// NewHash returns a hash aggregator for the given output specs and
+// grouping expressions (which may be empty for a global aggregate).
+func NewHash(specs []Spec, groupBy []expr.Node) *Hash {
+	return &Hash{
+		specs:   specs,
+		groupBy: groupBy,
+		m:       make(map[string]*bucket),
+		keyBuf:  make([]byte, 8*len(groupBy)),
+		valBuf:  make([]int64, len(groupBy)),
+	}
+}
+
+// Add implements Aggregator.
+func (h *Hash) Add(j *expr.Joined) {
+	h.rows++
+	for i, g := range h.groupBy {
+		v := g.Eval(j)
+		h.valBuf[i] = v
+		binary.LittleEndian.PutUint64(h.keyBuf[8*i:], uint64(v))
+	}
+	b, ok := h.m[string(h.keyBuf)]
+	if !ok {
+		b = &bucket{
+			group:  append([]int64(nil), h.valBuf...),
+			ints:   make([]int64, len(h.specs)),
+			counts: make([]int64, len(h.specs)),
+		}
+		h.m[string(h.keyBuf)] = b
+	}
+	fold(b, h.specs, j, ok)
+}
+
+func fold(b *bucket, specs []Spec, j *expr.Joined, existed bool) {
+	for i, s := range specs {
+		var v int64
+		if s.Arg != nil {
+			v = s.Arg.Eval(j)
+		}
+		switch s.Fn {
+		case Sum, Avg:
+			b.ints[i] += v
+		case Count:
+			b.ints[i]++
+		case Min:
+			if !existed || v < b.ints[i] {
+				b.ints[i] = v
+			}
+		case Max:
+			if !existed || v > b.ints[i] {
+				b.ints[i] = v
+			}
+		}
+		b.counts[i]++
+	}
+}
+
+// Rows returns the number of input rows consumed.
+func (h *Hash) Rows() int64 { return h.rows }
+
+// Results implements Aggregator.
+func (h *Hash) Results() []Result {
+	if len(h.m) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, len(h.m))
+	for _, b := range h.m {
+		out = append(out, Result{Group: b.group, Ints: b.ints, Counts: b.counts})
+	}
+	sortResults(out)
+	return out
+}
+
+// Sorted is a sort-based aggregator: it buffers (group, arg) rows and
+// aggregates after sorting. Results are identical to Hash; the paper's
+// Distributor may pipe into "either sort-based or hash-based" operators.
+type Sorted struct {
+	specs   []Spec
+	groupBy []expr.Node
+	rows    [][]int64 // group values followed by arg values
+}
+
+// NewSorted returns a sort-based aggregator.
+func NewSorted(specs []Spec, groupBy []expr.Node) *Sorted {
+	return &Sorted{specs: specs, groupBy: groupBy}
+}
+
+// Add implements Aggregator.
+func (s *Sorted) Add(j *expr.Joined) {
+	row := make([]int64, len(s.groupBy)+len(s.specs))
+	for i, g := range s.groupBy {
+		row[i] = g.Eval(j)
+	}
+	for i, sp := range s.specs {
+		if sp.Arg != nil {
+			row[len(s.groupBy)+i] = sp.Arg.Eval(j)
+		}
+	}
+	s.rows = append(s.rows, row)
+}
+
+// Results implements Aggregator.
+func (s *Sorted) Results() []Result {
+	ng := len(s.groupBy)
+	sort.Slice(s.rows, func(a, b int) bool {
+		return lessInt64s(s.rows[a][:ng], s.rows[b][:ng])
+	})
+	var out []Result
+	var cur *bucket
+	for _, row := range s.rows {
+		if cur == nil || !equalInt64s(cur.group, row[:ng]) {
+			if cur != nil {
+				out = append(out, Result{Group: cur.group, Ints: cur.ints, Counts: cur.counts})
+			}
+			cur = &bucket{
+				group:  append([]int64(nil), row[:ng]...),
+				ints:   make([]int64, len(s.specs)),
+				counts: make([]int64, len(s.specs)),
+			}
+			s.foldRow(cur, row, false)
+			continue
+		}
+		s.foldRow(cur, row, true)
+	}
+	if cur != nil {
+		out = append(out, Result{Group: cur.group, Ints: cur.ints, Counts: cur.counts})
+	}
+	return out
+}
+
+func (s *Sorted) foldRow(b *bucket, row []int64, existed bool) {
+	ng := len(s.groupBy)
+	for i, sp := range s.specs {
+		v := row[ng+i]
+		switch sp.Fn {
+		case Sum, Avg:
+			b.ints[i] += v
+		case Count:
+			b.ints[i]++
+		case Min:
+			if !existed || v < b.ints[i] {
+				b.ints[i] = v
+			}
+		case Max:
+			if !existed || v > b.ints[i] {
+				b.ints[i] = v
+			}
+		}
+		b.counts[i]++
+	}
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(a, b int) bool { return lessInt64s(rs[a].Group, rs[b].Group) })
+}
+
+func lessInt64s(a, b []int64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatResults renders results as a compact debug table.
+func FormatResults(rs []Result, specs []Spec) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		for _, g := range r.Group {
+			fmt.Fprintf(&sb, "%d\t", g)
+		}
+		for i := range specs {
+			fmt.Fprintf(&sb, "%g\t", r.Value(i, specs[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,33 @@
+package agg
+
+import (
+	"testing"
+
+	"cjoin/internal/expr"
+)
+
+// BenchmarkHashAdd measures the Distributor-side cost of folding one
+// routed tuple into a query's aggregation operator.
+func BenchmarkHashAdd(b *testing.B) {
+	specs := []Spec{{Fn: Sum, Arg: col(1)}, {Fn: Count}}
+	h := NewHash(specs, []expr.Node{col(0)})
+	j := expr.Joined{Fact: []int64{3, 42}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Fact[0] = int64(i % 64) // 64 groups
+		h.Add(&j)
+	}
+}
+
+func BenchmarkHashAddWideGroup(b *testing.B) {
+	specs := []Spec{{Fn: Sum, Arg: col(3)}}
+	h := NewHash(specs, []expr.Node{col(0), col(1), col(2)})
+	j := expr.Joined{Fact: []int64{0, 0, 0, 7}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Fact[0] = int64(i % 8)
+		j.Fact[1] = int64(i % 4)
+		j.Fact[2] = int64(i % 2)
+		h.Add(&j)
+	}
+}

@@ -1,0 +1,85 @@
+package bitvec
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Allocator hands out integer slots in [0, N) using lock-free bitmap
+// operations, as the paper's specialized tuple allocator does (§4): a slot
+// reservation or release is a single atomic word update.
+//
+// The zero value is not usable; construct with NewAllocator.
+type Allocator struct {
+	words []atomic.Uint64
+	n     int
+	inUse atomic.Int64
+}
+
+// NewAllocator returns an allocator for n slots, all initially free.
+func NewAllocator(n int) *Allocator {
+	if n < 0 {
+		n = 0
+	}
+	return &Allocator{words: make([]atomic.Uint64, Words(n)), n: n}
+}
+
+// Cap returns the total number of slots.
+func (a *Allocator) Cap() int { return a.n }
+
+// InUse returns the number of currently allocated slots.
+func (a *Allocator) InUse() int { return int(a.inUse.Load()) }
+
+// Alloc reserves the lowest-numbered free slot. It returns false if all
+// slots are in use.
+func (a *Allocator) Alloc() (int, bool) {
+	for w := range a.words {
+		for {
+			old := a.words[w].Load()
+			free := ^old
+			if w == len(a.words)-1 {
+				// Mask out bits beyond n.
+				if rem := a.n % wordBits; rem != 0 {
+					free &= (1 << uint(rem)) - 1
+				}
+			}
+			if free == 0 {
+				break // word full; try next word
+			}
+			bit := bits.TrailingZeros64(free)
+			if a.words[w].CompareAndSwap(old, old|1<<uint(bit)) {
+				a.inUse.Add(1)
+				return w*wordBits + bit, true
+			}
+			// CAS raced; retry this word.
+		}
+	}
+	return 0, false
+}
+
+// Free releases slot i. Freeing a slot that is not allocated panics: it
+// indicates a double-free, which would corrupt query-id or tuple reuse.
+func (a *Allocator) Free(i int) {
+	if i < 0 || i >= a.n {
+		panic("bitvec: Free out of range")
+	}
+	w, mask := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	for {
+		old := a.words[w].Load()
+		if old&mask == 0 {
+			panic("bitvec: double free")
+		}
+		if a.words[w].CompareAndSwap(old, old&^mask) {
+			a.inUse.Add(-1)
+			return
+		}
+	}
+}
+
+// Allocated reports whether slot i is currently in use.
+func (a *Allocator) Allocated(i int) bool {
+	if i < 0 || i >= a.n {
+		return false
+	}
+	return a.words[i/wordBits].Load()&(1<<(uint(i)%wordBits)) != 0
+}

@@ -1,0 +1,56 @@
+package bitvec
+
+import "testing"
+
+// The paper profiles bitmap operations as CJOIN's scalability limiter at
+// n=256 (§6.2.2); these microbenchmarks track the per-tuple costs.
+
+func BenchmarkAnd256(b *testing.B) {
+	x, y := New(256), New(256)
+	y.Fill(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkAndNotIsZero256(b *testing.B) {
+	x, mask := New(256), New(256)
+	x.Set(17)
+	mask.Fill(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndNotIsZero(mask)
+	}
+}
+
+func BenchmarkCopyFrom256(b *testing.B) {
+	x, y := New(256), New(256)
+	y.Fill(123)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.CopyFrom(y)
+	}
+}
+
+func BenchmarkForEach256Sparse(b *testing.B) {
+	v := New(256)
+	for _, i := range []int{3, 70, 199} {
+		v.Set(i)
+	}
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		v.ForEach(func(j int) bool { sum += j; return true })
+	}
+	_ = sum
+}
+
+func BenchmarkAllocatorAllocFree(b *testing.B) {
+	a := NewAllocator(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _ := a.Alloc()
+		a.Free(s)
+	}
+}

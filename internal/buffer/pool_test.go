@@ -1,0 +1,129 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"cjoin/internal/disk"
+	"cjoin/internal/storage"
+)
+
+func buildHeap(t *testing.T, rows int64) *storage.HeapFile {
+	t.Helper()
+	h := storage.CreateHeap(disk.NewMem(), 1)
+	for i := int64(0); i < rows; i++ {
+		h.Append([]int64{i})
+	}
+	return h
+}
+
+func TestHitMiss(t *testing.T) {
+	h := buildHeap(t, 5000) // several pages
+	p := NewPool(16, 1)
+	dst := make([]int64, h.RowsPerPage())
+	if _, err := p.ReadPage(h, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadPage(h, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if dst[0] != 0 {
+		t.Fatalf("page 0 row 0 = %d", dst[0])
+	}
+}
+
+func TestEvictionBounded(t *testing.T) {
+	h := buildHeap(t, 1023*10) // 10 full pages
+	p := NewPool(3, 1)
+	dst := make([]int64, h.RowsPerPage())
+	for page := 0; page < 10; page++ {
+		if _, err := p.ReadPage(h, page, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() > 3 {
+		t.Fatalf("pool grew to %d frames", p.Len())
+	}
+	// All were cold misses.
+	if s := p.Stats(); s.Misses != 10 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestTailNeverCached(t *testing.T) {
+	h := buildHeap(t, 10) // all rows in the tail page
+	p := NewPool(4, 1)
+	dst := make([]int64, h.RowsPerPage())
+	if n, err := p.ReadPage(h, 0, dst); err != nil || n != 10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	h.Append([]int64{10})
+	n, err := p.ReadPage(h, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 || dst[10] != 10 {
+		t.Fatalf("stale tail served: n=%d", n)
+	}
+}
+
+func TestCorrectContentUnderEviction(t *testing.T) {
+	h := buildHeap(t, 1023*8)
+	p := NewPool(2, 1)
+	dst := make([]int64, h.RowsPerPage())
+	for round := 0; round < 3; round++ {
+		for page := 0; page < 8; page++ {
+			n, err := p.ReadPage(h, page, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if dst[i] != int64(page*1023+i) {
+					t.Fatalf("page %d row %d = %d", page, i, dst[i])
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	h := buildHeap(t, 1023*20)
+	p := NewPool(8, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := make([]int64, h.RowsPerPage())
+			for r := 0; r < 100; r++ {
+				page := (w*7 + r) % 20
+				n, err := p.ReadPage(h, page, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n > 0 && dst[0] != int64(page*1023) {
+					t.Errorf("page %d first row %d", page, dst[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Len() > 8 {
+		t.Fatalf("pool exceeded capacity: %d", p.Len())
+	}
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	h := buildHeap(t, 10)
+	p := NewPool(2, 1)
+	dst := make([]int64, h.RowsPerPage())
+	if _, err := p.ReadPage(h, 99, dst); err == nil {
+		t.Fatal("expected page-range error")
+	}
+}

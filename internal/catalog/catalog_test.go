@@ -1,0 +1,126 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"cjoin/internal/disk"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Encode("ASIA")
+	b := d.Encode("EUROPE")
+	if a == b {
+		t.Fatal("distinct strings share id")
+	}
+	if got := d.Encode("ASIA"); got != a {
+		t.Fatalf("re-encode changed id: %d vs %d", got, a)
+	}
+	if s, ok := d.Decode(b); !ok || s != "EUROPE" {
+		t.Fatalf("Decode(%d) = %q,%v", b, s, ok)
+	}
+	if _, ok := d.Decode(99); ok {
+		t.Fatal("Decode of unknown id must fail")
+	}
+	if _, ok := d.Lookup("AFRICA"); ok {
+		t.Fatal("Lookup must not assign")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	words := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	ids := make([][]int64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]int64, len(words))
+			for i, s := range words {
+				ids[w][i] = d.Encode(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for i := range words {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got different id for %q", w, words[i])
+			}
+		}
+	}
+	if d.Len() != len(words) {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func newTestStar(t *testing.T) *Star {
+	t.Helper()
+	dev := disk.NewMem()
+	fact := NewTable(dev, "f", 2, []Column{
+		{Name: "xmin", Type: Int}, {Name: "xmax", Type: Int},
+		{Name: "fk1", Type: Int}, {Name: "val", Type: Int},
+	})
+	dim := NewTable(dev, "d1", 0, []Column{
+		{Name: "k", Type: Int}, {Name: "region", Type: Str},
+	})
+	s, err := NewStar(fact, []*Table{dim}, []int{2}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTableLookup(t *testing.T) {
+	s := newTestStar(t)
+	if s.Fact.ColIndex("val") != 3 || s.Fact.ColIndex("nope") != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+	if len(s.Fact.VisibleColumns()) != 2 {
+		t.Fatalf("visible columns %v", s.Fact.VisibleColumns())
+	}
+	if slot, tab := s.TableByName("d1"); slot != 1 || tab.Name != "d1" {
+		t.Fatalf("TableByName(d1) = %d", slot)
+	}
+	if slot, tab := s.TableByName("f"); slot != 0 || tab == nil {
+		t.Fatalf("TableByName(f) = %d", slot)
+	}
+	if slot, _ := s.TableByName("zz"); slot != -1 {
+		t.Fatal("unknown table must be -1")
+	}
+}
+
+func TestEncodeStr(t *testing.T) {
+	s := newTestStar(t)
+	d := s.Dims[0]
+	id, err := d.EncodeStr(1, "ASIA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Dicts[1].Decode(id); got != "ASIA" {
+		t.Fatalf("decode got %q", got)
+	}
+	if _, err := d.EncodeStr(0, "x"); err == nil {
+		t.Fatal("EncodeStr on int column must error")
+	}
+}
+
+func TestNewStarValidation(t *testing.T) {
+	dev := disk.NewMem()
+	fact := NewTable(dev, "f", 0, []Column{{Name: "a", Type: Int}})
+	dim := NewTable(dev, "d", 0, []Column{{Name: "k", Type: Int}})
+	if _, err := NewStar(fact, []*Table{dim}, []int{5}, []int{0}); err == nil {
+		t.Fatal("bad fk column must error")
+	}
+	if _, err := NewStar(fact, []*Table{dim}, []int{0}, []int{7}); err == nil {
+		t.Fatal("bad key column must error")
+	}
+	if _, err := NewStar(fact, []*Table{dim, dim}, []int{0, 0}, []int{0, 0}); err == nil {
+		t.Fatal("duplicate dimension must error")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"cjoin/internal/bitvec"
+)
+
+// ctrlKind distinguishes the paper's control tuples (§3.3).
+type ctrlKind int
+
+const (
+	// ctrlStart is the "query start" tuple appended when a query is
+	// registered; the Distributor sets up its aggregation operator.
+	ctrlStart ctrlKind = iota
+	// ctrlEnd is the "end of query" tuple emitted when the continuous
+	// scan wraps around the query's starting tuple.
+	ctrlEnd
+	// ctrlAbort tears down every in-flight query with an error
+	// (e.g. an I/O failure in the continuous scan).
+	ctrlAbort
+)
+
+// control is the payload of a control batch.
+type control struct {
+	kind ctrlKind
+	rq   *runningQuery
+	err  error
+}
+
+// tuple is one in-flight fact tuple: the copied fact row, the
+// query-relevance bit-vector bτ, and pointers to the joining dimension
+// entries attached during probing (§3.2.2) so aggregation operators can
+// read dimension attributes without re-probing.
+type tuple struct {
+	row  []int64
+	bv   bitvec.Vec
+	dims []*dimEntry
+}
+
+// batch is the unit of flow through the pipeline: either one control
+// tuple or up to Config.BatchRows data tuples. Batches are sequenced by
+// the Preprocessor; the Distributor restores sequence order, which
+// preserves the control/data tuple ordering property of §3.3.3 under
+// multi-threaded Stages.
+type batch struct {
+	seq    uint64
+	ctrl   *control
+	rows   []tuple
+	pooled bool
+
+	// backing arenas, preallocated once per pooled batch
+	rowArena []int64
+	bvArena  []uint64
+	dimArena []*dimEntry
+	ncols    int
+	words    int
+	ndims    int
+}
+
+func newBatch(capRows, ncols, words, ndims int) *batch {
+	return &batch{
+		pooled:   true,
+		rows:     make([]tuple, 0, capRows),
+		rowArena: make([]int64, capRows*ncols),
+		bvArena:  make([]uint64, capRows*words),
+		dimArena: make([]*dimEntry, capRows*ndims),
+		ncols:    ncols,
+		words:    words,
+		ndims:    ndims,
+	}
+}
+
+// reset prepares a pooled batch for reuse.
+func (b *batch) reset() {
+	b.rows = b.rows[:0]
+	b.ctrl = nil
+}
+
+// full reports whether the batch reached its row capacity.
+func (b *batch) full() bool { return len(b.rows) == cap(b.rows) }
+
+// alloc appends a fresh tuple backed by the batch arenas and returns it.
+// The tuple's bit-vector is zeroed; dims are nil.
+func (b *batch) alloc() *tuple {
+	i := len(b.rows)
+	bv := bitvec.Vec(b.bvArena[i*b.words : (i+1)*b.words])
+	bv.Reset()
+	dims := b.dimArena[i*b.ndims : (i+1)*b.ndims]
+	for j := range dims {
+		dims[j] = nil
+	}
+	b.rows = append(b.rows, tuple{
+		row:  b.rowArena[i*b.ncols : (i+1)*b.ncols],
+		bv:   bv,
+		dims: dims,
+	})
+	return &b.rows[len(b.rows)-1]
+}
+
+// unalloc drops the most recently allocated tuple (used when the
+// Preprocessor decides the tuple is relevant to no query).
+func (b *batch) unalloc() { b.rows = b.rows[:len(b.rows)-1] }
+
+func ctrlBatch(seq uint64, kind ctrlKind, rq *runningQuery, err error) *batch {
+	return &batch{seq: seq, ctrl: &control{kind: kind, rq: rq, err: err}}
+}

@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"testing"
+
+	"cjoin/internal/core"
+	"cjoin/internal/disk"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+	"cjoin/internal/ssb"
+)
+
+func TestCompressedFactMatchesReference(t *testing.T) {
+	// §5 "Compressed Tables": the continuous scan reads RLE pages and
+	// decompresses on the fly; results must be identical to the raw
+	// representation.
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 3000, Seed: 101, CompressFact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Lineorder.Heap.FlushedBytes() >= int64(ds.Lineorder.Heap.FlushedPages())*8192 {
+		t.Fatal("fact table did not compress")
+	}
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 16, Workers: 2})
+	for _, q := range bindWorkload(t, ds, 8, 0.1, 9) {
+		h, err := p.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := h.Wait()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want, err := ref.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.ResultsEqual(res.Rows, want) {
+			t.Fatalf("compressed-fact query diverges: %s", q.SQL)
+		}
+	}
+}
+
+func TestProbeSkipAblationEquivalence(t *testing.T) {
+	// Disabling the probe-skip optimization must never change results —
+	// only the probe count (the filtering invariant holds either way).
+	ds := dataset(t, 2000)
+	for _, disable := range []bool{false, true} {
+		p := startPipeline(t, ds, core.Config{MaxConcurrent: 16, DisableProbeSkip: disable})
+		for _, q := range bindWorkload(t, ds, 5, 0.1, 13) {
+			h, err := p.Submit(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := h.Wait()
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			want, _ := ref.Execute(q)
+			if !ref.ResultsEqual(res.Rows, want) {
+				t.Fatalf("disable=%v diverges: %s", disable, q.SQL)
+			}
+		}
+		p.Stop()
+	}
+}
+
+func TestProbeSkipReducesProbes(t *testing.T) {
+	// Deterministic skip scenario: one query keeps the part filter
+	// active but carries a fact predicate that never holds (lo_quantity
+	// is always >= 1), so no tuple ever has its bit. A concurrent
+	// date-only query keeps tuples flowing. With the probe-skip test,
+	// every tuple bypasses the part filter (bτ ∧ ¬b_part == 0); without
+	// it, every tuple probes.
+	partProbes := func(disable bool) int64 {
+		// A slow device guarantees the two queries' scan cycles overlap:
+		// one cycle takes ~20 ms, admissions take ~1 ms.
+		ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 2000, Seed: 101,
+			Disk: disk.Config{SeqBytesPerSec: 16 << 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := startPipeline(t, ds, core.Config{MaxConcurrent: 8, DisableProbeSkip: disable})
+		qDate, err := query.ParseBind(
+			"SELECT COUNT(*) FROM lineorder, date WHERE lo_orderdate = d_datekey", ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qPart, err := query.ParseBind(
+			"SELECT COUNT(*) FROM lineorder, part WHERE lo_partkey = p_partkey AND lo_quantity < 1", ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1, err := p.Submit(qDate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := p.Submit(qPart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := h2.Wait(); res.Err != nil || len(res.Rows) != 0 && res.Rows[0].Ints[0] != 0 {
+			t.Fatalf("impossible predicate returned rows: %v err=%v", res.Rows, res.Err)
+		}
+		if res := h1.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		var probes int64
+		for _, f := range p.Stats().Filters {
+			if f.Dimension == "part" {
+				probes = f.Probes
+			}
+		}
+		p.Stop()
+		return probes
+	}
+	with, without := partProbes(false), partProbes(true)
+	if with != 0 {
+		t.Fatalf("probe-skip should eliminate part probes, saw %d", with)
+	}
+	if without == 0 {
+		t.Fatal("ablated pipeline should probe the part filter")
+	}
+}

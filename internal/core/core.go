@@ -1,0 +1,118 @@
+// Package core implements CJOIN, the shared physical operator for
+// concurrent star queries introduced in "A Scalable, Predictable Join
+// Operator for Highly Concurrent Data Warehouses" (Candea, Polyzotis,
+// Vingralek — VLDB 2009).
+//
+// A Pipeline is the paper's single "always on" plan (§3.1):
+//
+//	continuous fact scan → Preprocessor → Filters (in Stages) →
+//	Distributor → one aggregation operator per registered query
+//
+// Fact tuples flow through the pipeline in batches; each tuple carries a
+// bit-vector with one bit per registered query. Each Filter holds a
+// dimension hash table storing the union of dimension tuples selected by
+// any current query, each tagged with its own bit-vector. A single probe
+// therefore joins a fact tuple against one dimension for all queries at
+// once (§3.2). Queries latch onto the running scan at any time and
+// complete after exactly one full cycle (§3.3).
+//
+// The implementation follows §4: the Preprocessor and Distributor each
+// own one goroutine; Filters are boxed into Stages with a configurable
+// layout (horizontal, vertical, hybrid) and thread count; tuples move
+// between threads in batches; tuple memory comes from a preallocated
+// pool. Control tuples are kept ordered relative to data tuples (§3.3.3)
+// by sequencing batches at the Preprocessor and restoring order in the
+// Distributor.
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// Layout selects how Filters are boxed into Stages (§4).
+type Layout int
+
+const (
+	// Horizontal boxes all Filters into one Stage executed by several
+	// worker threads; each worker runs the whole filter sequence for a
+	// subset of batches. The paper found this layout superior (§6.2.1).
+	Horizontal Layout = iota
+	// Vertical gives every Filter its own single-threaded Stage wired in
+	// a chain.
+	Vertical
+	// Hybrid groups Filters into Config.Stages chained Stages, dividing
+	// Config.Workers among them.
+	Hybrid
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Horizontal:
+		return "horizontal"
+	case Vertical:
+		return "vertical"
+	case Hybrid:
+		return "hybrid"
+	}
+	return "unknown"
+}
+
+// Config tunes a Pipeline. The zero value gets sensible defaults from
+// normalize.
+type Config struct {
+	// MaxConcurrent is the paper's maxConc: the bound on simultaneously
+	// registered queries and the width of every bit-vector. Default 64.
+	MaxConcurrent int
+	// BatchRows is the number of fact tuples per pipeline batch.
+	// Default 256.
+	BatchRows int
+	// QueueLen is the buffer length of inter-stage channels. Default 8.
+	QueueLen int
+	// Workers is the number of Stage threads (horizontal: all in the
+	// single Stage; hybrid: divided among Stages). Default NumCPU/2,
+	// minimum 1.
+	Workers int
+	// Layout selects the Stage configuration. Default Horizontal.
+	Layout Layout
+	// Stages is the number of Stages for the Hybrid layout. Default 2.
+	Stages int
+	// SortAgg selects sort-based instead of hash-based aggregation
+	// operators.
+	SortAgg bool
+	// OptimizeInterval is how often the pipeline manager re-optimizes
+	// the Filter order from run-time selectivity statistics (§3.4).
+	// Zero disables periodic optimization (ReorderFilters can still be
+	// called explicitly).
+	OptimizeInterval time.Duration
+	// DisableProbeSkip turns off the §3.2.2 probe-skip optimization
+	// (bτ AND NOT b_Dj == 0 forwards without probing). For ablation
+	// benchmarks only.
+	DisableProbeSkip bool
+	// FactSource overrides the physical source of the continuous scan —
+	// e.g. a column-store scan/merge (§5). Row width must match the
+	// star's fact schema. Incompatible with partitioned stars.
+	FactSource PageSource
+}
+
+func (c Config) normalize() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = 256
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU() / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.Stages <= 0 {
+		c.Stages = 2
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cjoin/internal/bitvec"
+	"cjoin/internal/catalog"
+	"cjoin/internal/expr"
+	"cjoin/internal/storage"
+)
+
+// dimEntry is one stored dimension tuple δ with its bit-vector b_δ:
+// bit i is 1 iff query i references this dimension and selects δ, or
+// query i is active and does not reference this dimension (§3.2.1).
+type dimEntry struct {
+	row []int64
+	bv  bitvec.Vec
+}
+
+// dimState is the Filter state for one dimension table: the hash table
+// HD_j plus the complement bitmap b_Dj (bit i set iff active query i does
+// not reference D_j), which doubles as the filtering vector for fact
+// tuples whose dimension tuple is absent from the table and as the
+// probe-skip mask (§3.2.2).
+//
+// The hash table is read-mostly (§4): Filters take the read lock per
+// batch; the pipeline manager takes the write lock during query admission
+// and finalization sweeps.
+type dimState struct {
+	index  int // dimension position within the star
+	table  *catalog.Table
+	fkCol  int
+	keyCol int
+	words  int
+
+	noSkip bool // ablation: disable the probe-skip optimization
+
+	mu   sync.RWMutex
+	ht   map[int64]*dimEntry
+	bDj  bitvec.Vec
+	refs int // active queries referencing this dimension
+
+	// Run-time statistics for on-the-fly Filter ordering (§3.4).
+	tuplesIn atomic.Int64
+	probes   atomic.Int64
+	drops    atomic.Int64
+}
+
+func newDimState(star *catalog.Star, index, maxConc int) *dimState {
+	return &dimState{
+		index:  index,
+		table:  star.Dims[index],
+		fkCol:  star.FKCol[index],
+		keyCol: star.KeyCol[index],
+		words:  bitvec.Words(maxConc),
+		ht:     make(map[int64]*dimEntry),
+		bDj:    bitvec.New(maxConc),
+	}
+}
+
+// refCount returns the number of active queries referencing the
+// dimension.
+func (d *dimState) refCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.refs
+}
+
+// size returns the number of stored dimension tuples.
+func (d *dimState) size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ht)
+}
+
+// admit implements the per-dimension half of Algorithm 1 for query slot
+// n. If the query references this dimension, pred selects the dimension
+// tuples to load (σ_cnj(D_j)); otherwise pred is nil and the dimension
+// merely marks the query as non-referencing.
+//
+// Invariant on entry (established by remove): bit n is clear in bDj and
+// in every stored entry.
+func (d *dimState) admit(slot int, pred expr.Node) error {
+	if pred == nil {
+		d.mu.Lock()
+		d.bDj.Set(slot)
+		for _, e := range d.ht {
+			e.bv.Set(slot)
+		}
+		d.mu.Unlock()
+		return nil
+	}
+
+	// Evaluate the dimension query outside the write lock where
+	// possible: collect selected rows first (the paper issues the
+	// predicate query to the underlying engine), then install them.
+	var selected [][]int64
+	sc := storage.NewScanner(d.table.Heap)
+	for row, ok := sc.Next(); ok; row, ok = sc.Next() {
+		if expr.EvalRow(pred, row) {
+			cp := make([]int64, len(row))
+			copy(cp, row)
+			selected = append(selected, cp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	d.refs++
+	for _, row := range selected {
+		key := row[d.keyCol]
+		e, ok := d.ht[key]
+		if !ok {
+			e = &dimEntry{row: row, bv: d.bDj.Clone()}
+			d.ht[key] = e
+		}
+		e.bv.Set(slot)
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// remove implements the per-dimension half of Algorithm 2 for query slot
+// n: clear bit n everywhere and garbage-collect entries selected by no
+// remaining referencing query. An entry is dead when it has no set bit
+// belonging to a query that references this dimension — i.e. when
+// (b_δ AND NOT b_Dj) == 0, since b_Dj holds exactly the bits of active
+// non-referencing queries.
+func (d *dimState) remove(slot int, referenced bool) (emptied bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bDj.Clear(slot)
+	if referenced {
+		d.refs--
+	}
+	for key, e := range d.ht {
+		e.bv.Clear(slot)
+		if e.bv.AndNotIsZero(d.bDj) {
+			delete(d.ht, key)
+		}
+	}
+	return len(d.ht) == 0 && d.refs == 0
+}
+
+// filterBatch probes the dimension hash table for every tuple in the
+// batch, ANDs bit-vectors, attaches joining dimension pointers, and
+// compacts the batch in place, dropping tuples whose bit-vector became
+// zero (§3.2.2).
+func (d *dimState) filterBatch(b *batch) {
+	d.mu.RLock()
+	if d.refs == 0 {
+		// No active query references this dimension: b_Dj covers every
+		// relevant bit, the AND is a no-op, and probing is pointless.
+		d.mu.RUnlock()
+		return
+	}
+	in := int64(len(b.rows))
+	n := 0
+	var probes, drops int64
+	for i := range b.rows {
+		t := &b.rows[i]
+		// Probe-skip optimization: if τ is relevant only to queries
+		// that do not reference D_j, forward it unchanged.
+		if !d.noSkip && t.bv.AndNotIsZero(d.bDj) {
+			b.rows[n] = b.rows[i]
+			n++
+			continue
+		}
+		probes++
+		if e, ok := d.ht[t.row[d.fkCol]]; ok {
+			t.bv.And(e.bv)
+			t.dims[d.index] = e
+		} else {
+			t.bv.And(d.bDj)
+		}
+		if t.bv.IsZero() {
+			drops++
+			continue
+		}
+		b.rows[n] = b.rows[i]
+		n++
+	}
+	b.rows = b.rows[:n]
+	d.mu.RUnlock()
+	d.tuplesIn.Add(in)
+	d.probes.Add(probes)
+	d.drops.Add(drops)
+}
+
+// FilterStats is a snapshot of one Filter's run-time counters.
+type FilterStats struct {
+	Dimension string
+	Stored    int
+	TuplesIn  int64
+	Probes    int64
+	Drops     int64
+}
+
+// DropRate is the observed fraction of incoming tuples dropped.
+func (s FilterStats) DropRate() float64 {
+	if s.TuplesIn == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(s.TuplesIn)
+}
+
+func (d *dimState) stats() FilterStats {
+	return FilterStats{
+		Dimension: d.table.Name,
+		Stored:    d.size(),
+		TuplesIn:  d.tuplesIn.Load(),
+		Probes:    d.probes.Load(),
+		Drops:     d.drops.Load(),
+	}
+}
+
+// decayStats halves the counters so the on-line optimizer tracks the
+// current query mix rather than all history (§3.4).
+func (d *dimState) decayStats() {
+	d.tuplesIn.Store(d.tuplesIn.Load() / 2)
+	d.probes.Store(d.probes.Load() / 2)
+	d.drops.Store(d.drops.Load() / 2)
+}

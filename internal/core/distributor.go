@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+)
+
+// ErrPipelineStopped is returned to queries still in flight when the
+// pipeline shuts down.
+var ErrPipelineStopped = errors.New("core: pipeline stopped")
+
+// distributor consumes filtered batches, restores sequence order, routes
+// every surviving fact tuple to the aggregation operator of each query
+// whose bit is set (§3.2.2), and finalizes queries when their end-of-query
+// control tuple arrives (§3.3.2).
+//
+// The reorder buffer enforces the §3.3.3 ordering property: a control
+// tuple placed before (after) a fact tuple by the Preprocessor is
+// processed before (after) it here, no matter how Stage workers
+// interleaved the batches in between.
+type distributor struct {
+	p       *Pipeline
+	in      chan *batch
+	expect  uint64
+	pending map[uint64]*batch
+	queries []*runningQuery // slot-indexed; learned from control tuples
+	scratch expr.Joined
+	routed  int64
+	aborted error
+}
+
+func newDistributor(p *Pipeline, in chan *batch) *distributor {
+	return &distributor{
+		p:       p,
+		in:      in,
+		pending: make(map[uint64]*batch),
+		queries: make([]*runningQuery, p.cfg.MaxConcurrent),
+		scratch: expr.Joined{Dims: make([][]int64, len(p.star.Dims))},
+	}
+}
+
+func (d *distributor) run() {
+	for b := range d.in {
+		d.pending[b.seq] = b
+		for {
+			nb, ok := d.pending[d.expect]
+			if !ok {
+				break
+			}
+			delete(d.pending, d.expect)
+			d.expect++
+			d.process(nb)
+		}
+	}
+	// Pipeline stopping: fail whatever is still registered.
+	for _, rq := range d.queries {
+		if rq != nil {
+			rq.deliver(nil, ErrPipelineStopped)
+		}
+	}
+}
+
+func (d *distributor) process(b *batch) {
+	if b.ctrl != nil {
+		d.control(b.ctrl)
+		return
+	}
+	if d.aborted == nil {
+		for i := range b.rows {
+			d.route(&b.rows[i])
+		}
+	}
+	d.p.pool.put(b)
+}
+
+func (d *distributor) control(c *control) {
+	switch c.kind {
+	case ctrlStart:
+		// Set up the query's aggregation operator (§3.3.1: the control
+		// tuple precedes any result tuple for the query). Sink queries
+		// route tuples to their fact-to-fact join operator instead (§5).
+		rq := c.rq
+		if rq.sink == nil {
+			if d.p.cfg.SortAgg {
+				rq.aggr = agg.NewSorted(rq.q.Aggs, rq.q.GroupBy)
+			} else {
+				rq.aggr = agg.NewHash(rq.q.Aggs, rq.q.GroupBy)
+			}
+		}
+		d.queries[rq.slot] = rq
+	case ctrlEnd:
+		rq := c.rq
+		d.queries[rq.slot] = nil
+		if rq.sink != nil {
+			rq.deliver(nil, nil)
+			rq.sink.Finalize(nil)
+		} else {
+			results := rq.aggr.Results()
+			query.SortResults(results, rq.q.OrderBy)
+			rq.deliver(results, nil)
+		}
+		// Hand the slot to the pipeline manager for Algorithm 2 cleanup.
+		d.p.cleanupCh <- rq
+	case ctrlAbort:
+		d.aborted = c.err
+		for slot, rq := range d.queries {
+			if rq != nil {
+				rq.deliver(nil, c.err)
+				if rq.sink != nil {
+					rq.sink.Finalize(c.err)
+				}
+				d.queries[slot] = nil
+				d.p.cleanupCh <- rq
+			}
+		}
+	}
+}
+
+// route feeds one surviving tuple to every query whose bit is set,
+// reading dimension attributes through the pointers attached by the
+// Filters.
+func (d *distributor) route(t *tuple) {
+	d.scratch.Fact = t.row
+	for j, e := range t.dims {
+		if e != nil {
+			d.scratch.Dims[j] = e.row
+		} else {
+			d.scratch.Dims[j] = nil
+		}
+	}
+	t.bv.ForEach(func(slot int) bool {
+		if rq := d.queries[slot]; rq != nil {
+			if rq.sink != nil {
+				rq.sink.Consume(&d.scratch)
+			} else {
+				rq.aggr.Add(&d.scratch)
+			}
+			d.routed++
+		}
+		return true
+	})
+}

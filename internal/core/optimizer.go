@@ -1,0 +1,41 @@
+package core
+
+import "sort"
+
+// ReorderFilters re-optimizes the Filter order from run-time statistics
+// (§3.4): since every Filter has the same fixed cost — one hash probe and
+// one bitwise AND — minimizing expected probes reduces to ordering
+// Filters by decreasing observed drop rate. This is the uniform-cost
+// specialization of the adaptive stream-filter ordering of Babu et al.
+// [5], which the paper adopts.
+//
+// The new order is installed atomically; Stage workers pick it up at
+// their next batch, so no pipeline stall is needed. Correctness does not
+// depend on the order (the Filtering Invariant of §3.2.2 holds for any
+// permutation); only the expected probe count changes.
+func (p *Pipeline) ReorderFilters() {
+	p.pmMu.Lock()
+	defer p.pmMu.Unlock()
+
+	old := *p.filterOrder.Load()
+	if len(old) < 2 {
+		return
+	}
+	type scored struct {
+		dim  int
+		rate float64
+	}
+	ss := make([]scored, 0, len(old))
+	for _, d := range old {
+		ss = append(ss, scored{dim: d, rate: p.dimStates[d].stats().DropRate()})
+	}
+	sort.SliceStable(ss, func(a, b int) bool { return ss[a].rate > ss[b].rate })
+	order := make([]int, len(ss))
+	for i, s := range ss {
+		order[i] = s.dim
+	}
+	p.filterOrder.Store(&order)
+	for _, d := range order {
+		p.dimStates[d].decayStats()
+	}
+}

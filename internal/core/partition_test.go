@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+	"cjoin/internal/ssb"
+)
+
+func partitionedDataset(t testing.TB, rows, parts int) *ssb.Dataset {
+	t.Helper()
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: rows, Seed: 81, Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPartitionedResultsMatchReference(t *testing.T) {
+	ds := partitionedDataset(t, 3000, 4)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 16, Workers: 2})
+	for _, q := range bindWorkload(t, ds, 10, 0.1, 83) {
+		h, err := p.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := h.Wait()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want, err := ref.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.ResultsEqual(res.Rows, want) {
+			t.Fatalf("partitioned query diverges: %s", q.SQL)
+		}
+	}
+}
+
+func TestPartitionPruningTerminatesEarly(t *testing.T) {
+	// A query restricted to a narrow date range must scan only the
+	// partitions overlapping that range (§5) — observable through the
+	// pages the preprocessor charged to it.
+	ds := partitionedDataset(t, 4000, 4)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 8})
+
+	// First quarter of the date span: exactly one partition.
+	narrow := fmt.Sprintf(
+		"SELECT SUM(lo_revenue), d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d GROUP BY d_year",
+		ds.DateKeys[0], ds.DateKeys[len(ds.DateKeys)/8])
+	qNarrow, err := query.ParseBind(narrow, ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hNarrow, err := p.Submit(qNarrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNarrow := hNarrow.Wait()
+	if resNarrow.Err != nil {
+		t.Fatal(resNarrow.Err)
+	}
+	want, _ := ref.Execute(qNarrow)
+	if !ref.ResultsEqual(resNarrow.Rows, want) {
+		t.Fatal("pruned query diverges from reference")
+	}
+
+	// An unrestricted query for comparison.
+	wide, err := query.ParseBind(
+		"SELECT SUM(lo_revenue), d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year", ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hWide, err := p.Submit(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := hWide.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	narrowPages := hNarrow.PagesScanned()
+	widePages := hWide.PagesScanned()
+	if narrowPages*2 >= widePages {
+		t.Fatalf("pruning ineffective: narrow=%d pages, wide=%d pages", narrowPages, widePages)
+	}
+}
+
+func TestPruningToZeroPartitions(t *testing.T) {
+	// A predicate selecting no dimension tuples needs zero pages and
+	// completes immediately with an empty result.
+	ds := partitionedDataset(t, 1000, 4)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4})
+	q, err := query.ParseBind(
+		"SELECT SUM(lo_revenue), d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN 1 AND 2 GROUP BY d_year", ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("expected empty result, got %d rows", len(res.Rows))
+	}
+	if h.PagesScanned() != 0 {
+		t.Fatalf("zero-partition query scanned %d pages", h.PagesScanned())
+	}
+}
+
+func TestSkippedPartitionsNotScanned(t *testing.T) {
+	// With only narrow queries active, the continuous scan must skip
+	// partitions nobody needs: total pages read stays near the needed
+	// partition's size, not the full table.
+	ds := partitionedDataset(t, 4000, 4)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 8})
+	rng := rand.New(rand.NewSource(97))
+	_ = rng
+
+	narrow := fmt.Sprintf(
+		"SELECT COUNT(*) FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d",
+		ds.DateKeys[0], ds.DateKeys[10])
+	q, err := query.ParseBind(narrow, ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	stats := p.Stats()
+	total := 0
+	for _, part := range ds.Star.Partitions() {
+		total += part.Heap.NumPages()
+	}
+	if stats.PagesRead >= int64(total) {
+		t.Fatalf("scan read %d pages, table has %d: no partitions skipped", stats.PagesRead, total)
+	}
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/bitvec"
+	"cjoin/internal/catalog"
+	"cjoin/internal/query"
+)
+
+// ErrTooManyQueries is returned by Submit when maxConc query slots are
+// already in use.
+var ErrTooManyQueries = errors.New("core: maximum concurrent queries reached")
+
+// QueryResult is the final output of one registered query.
+type QueryResult struct {
+	Rows []agg.Result
+	Err  error
+}
+
+// runningQuery is the pipeline's bookkeeping for one registered query.
+type runningQuery struct {
+	slot int
+	q    *query.Bound
+	aggr agg.Aggregator
+	sink TupleSink // non-nil: tuples route here instead of aggr (§5)
+
+	resultCh  chan QueryResult
+	delivered atomic.Bool
+
+	// Preprocessor-owned scan bookkeeping.
+	startPos  int64
+	sawStart  bool
+	pagesLeft int64  // -1: wrap-detected; >= 0: partitioned countdown
+	needParts []bool // partitioned stars: partitions this query scans
+
+	// Progress accounting (§3.2.3: "the current point in the continuous
+	// scan can serve as a reliable progress indicator").
+	pagesTotal atomic.Int64
+	pagesDone  atomic.Int64
+
+	submitted time.Time
+	cleaned   chan struct{}
+}
+
+func (rq *runningQuery) deliver(rows []agg.Result, err error) {
+	if rq.delivered.CompareAndSwap(false, true) {
+		rq.resultCh <- QueryResult{Rows: rows, Err: err}
+	}
+}
+
+// Handle tracks one submitted query.
+type Handle struct {
+	rq *runningQuery
+	// Submission is the interval from Submit entry until the query-start
+	// control tuple entered the pipeline — the paper's "submission time"
+	// (§6.2.2, Table 1).
+	Submission time.Duration
+}
+
+// Slot returns the query's CJOIN identifier in [0, maxConc).
+func (h *Handle) Slot() int { return h.rq.slot }
+
+// Wait blocks until the query completes one full scan cycle and returns
+// its results.
+func (h *Handle) Wait() QueryResult { return <-h.rq.resultCh }
+
+// PagesScanned returns the number of fact pages the continuous scan has
+// charged to this query so far.
+func (h *Handle) PagesScanned() int64 { return h.rq.pagesDone.Load() }
+
+// ETA estimates the time to completion from the current processing rate —
+// the paper's §3.2.3 "estimated time of completion based on the current
+// processing rate of the pipeline". It returns 0 once the query is done
+// and false while no progress has been made yet.
+func (h *Handle) ETA() (time.Duration, bool) {
+	done := h.rq.pagesDone.Load()
+	total := h.rq.pagesTotal.Load()
+	if total > 0 && done >= total {
+		return 0, true
+	}
+	if done == 0 || total == 0 {
+		return 0, false
+	}
+	elapsed := time.Since(h.rq.submitted)
+	perPage := elapsed / time.Duration(done)
+	return time.Duration(total-done) * perPage, true
+}
+
+// Progress returns the fraction of the query's scan completed, in [0,1].
+func (h *Handle) Progress() float64 {
+	total := h.rq.pagesTotal.Load()
+	if total <= 0 {
+		return 1
+	}
+	f := float64(h.rq.pagesDone.Load()) / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Pipeline is the CJOIN operator: one always-on shared plan evaluating
+// every registered star query (§3.1).
+type Pipeline struct {
+	cfg  Config
+	star *catalog.Star
+
+	dimStates   []*dimState
+	filterOrder atomic.Pointer[[]int]
+	ids         *bitvec.Allocator
+	pool        *tuplePool
+
+	pp        *preprocessor
+	dist      *distributor
+	cleanupCh chan *runningQuery
+	stopCh    chan struct{}
+	stopped   atomic.Bool
+	wg        sync.WaitGroup
+
+	// pmMu serializes the pipeline-manager work: admission (Algorithm 1),
+	// cleanup (Algorithm 2), and filter reordering (§3.4). The paper runs
+	// these in a dedicated Pipeline Manager thread; a mutex gives the
+	// same serialization with idiomatic Go.
+	pmMu     sync.Mutex
+	pmActive bitvec.Vec
+	inFlight int
+	// live tracks submitted queries until cleanup so Stop can fail any
+	// query whose control tuples were dropped mid-shutdown.
+	live map[int]*runningQuery
+}
+
+// NewPipeline builds a CJOIN pipeline over the star schema. Call Start
+// before Submit.
+func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
+	cfg = cfg.normalize()
+	if len(star.Dims) == 0 {
+		return nil, fmt.Errorf("core: star schema has no dimensions")
+	}
+	p := &Pipeline{
+		cfg:       cfg,
+		star:      star,
+		ids:       bitvec.NewAllocator(cfg.MaxConcurrent),
+		cleanupCh: make(chan *runningQuery, cfg.MaxConcurrent+1),
+		stopCh:    make(chan struct{}),
+		pmActive:  bitvec.New(cfg.MaxConcurrent),
+		live:      make(map[int]*runningQuery),
+	}
+	for i := range star.Dims {
+		ds := newDimState(star, i, cfg.MaxConcurrent)
+		ds.noSkip = cfg.DisableProbeSkip
+		p.dimStates = append(p.dimStates, ds)
+	}
+	order := []int{}
+	p.filterOrder.Store(&order)
+
+	ncols := star.Fact.Heap.NumCols()
+	if parts := star.Partitions(); parts[0].Heap != nil {
+		ncols = parts[0].Heap.NumCols()
+	}
+	if cfg.FactSource != nil {
+		if star.PartCol >= 0 {
+			return nil, fmt.Errorf("core: FactSource override is incompatible with a partitioned star")
+		}
+		if cfg.FactSource.NumCols() != ncols {
+			return nil, fmt.Errorf("core: FactSource has %d columns, fact schema has %d", cfg.FactSource.NumCols(), ncols)
+		}
+	}
+	words := bitvec.Words(cfg.MaxConcurrent)
+	// Enough batches for every queue slot plus one in hand per thread.
+	nBatches := cfg.QueueLen*(len(star.Dims)+2) + cfg.Workers + 4
+	p.pool = newTuplePool(nBatches, cfg.BatchRows, ncols, words, len(star.Dims))
+	return p, nil
+}
+
+// Start launches the pipeline goroutines.
+func (p *Pipeline) Start() {
+	p.pp = newPreprocessor(p)
+	stagesOut := p.startStages(p.pp.out)
+	p.dist = newDistributor(p, stagesOut)
+
+	p.wg.Add(3)
+	go func() { defer p.wg.Done(); p.pp.run() }()
+	go func() { defer p.wg.Done(); p.dist.run() }()
+	go func() { defer p.wg.Done(); p.managerLoop() }()
+}
+
+// Stop shuts the pipeline down. In-flight queries receive
+// ErrPipelineStopped.
+func (p *Pipeline) Stop() {
+	if p.stopped.CompareAndSwap(false, true) {
+		close(p.stopCh)
+	}
+	p.wg.Wait()
+	// Batches in flight when the stop signal landed may have been
+	// dropped by Stage workers before reaching the Distributor, so some
+	// queries' results were never delivered. deliver is idempotent;
+	// sweep every query still tracked as live.
+	p.pmMu.Lock()
+	for _, rq := range p.live {
+		rq.deliver(nil, ErrPipelineStopped)
+	}
+	p.pmMu.Unlock()
+}
+
+// managerLoop is the Pipeline Manager's asynchronous half: it performs
+// query clean-up (Algorithm 2) and periodic run-time re-optimization of
+// the filter order (§3.4) in parallel with the main pipeline.
+func (p *Pipeline) managerLoop() {
+	var tick <-chan time.Time
+	if p.cfg.OptimizeInterval > 0 {
+		t := time.NewTicker(p.cfg.OptimizeInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case rq := <-p.cleanupCh:
+			p.cleanup(rq)
+		case <-tick:
+			p.ReorderFilters()
+		case <-p.stopCh:
+			// Drain pending cleanups so slots do not leak on shutdown.
+			for {
+				select {
+				case rq := <-p.cleanupCh:
+					p.cleanup(rq)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Submit registers a bound star query with the operator (Algorithm 1) and
+// returns a handle delivering its results after one full scan cycle.
+func (p *Pipeline) Submit(q *query.Bound) (*Handle, error) {
+	return p.submit(q, nil)
+}
+
+func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*Handle, error) {
+	if p.stopped.Load() {
+		return nil, ErrPipelineStopped
+	}
+	if q.Schema != p.star {
+		return nil, fmt.Errorf("core: query bound against a different star schema")
+	}
+	start := time.Now()
+
+	// Algorithm 1 runs mostly outside the manager lock: the dimension
+	// hash-table updates serialize per dimension (each dimState has its
+	// own lock), so independent admissions proceed in parallel and
+	// submission time stays flat as concurrency grows (§6.2.2, Table 1).
+	slot, ok := p.ids.Alloc()
+	if !ok {
+		return nil, ErrTooManyQueries
+	}
+	rq := &runningQuery{
+		slot:      slot,
+		q:         q,
+		sink:      sink,
+		resultCh:  make(chan QueryResult, 1),
+		submitted: start,
+		cleaned:   make(chan struct{}),
+	}
+
+	// Algorithm 1, lines 1–16: update complement bitmaps and dimension
+	// hash tables. Bit `slot` is guaranteed clear everywhere (cleanup
+	// invariant), so a failed admission can roll back by re-running the
+	// removal sweep.
+	for i, ds := range p.dimStates {
+		var err error
+		if q.DimRefs[i] {
+			err = ds.admit(slot, q.DimPreds[i])
+		} else {
+			err = ds.admit(slot, nil)
+		}
+		if err != nil {
+			// admit fails only before it increments the ref count, so
+			// the failing dimension itself rolls back as unreferenced.
+			for j := 0; j < i; j++ {
+				p.dimStates[j].remove(slot, q.DimRefs[j])
+			}
+			p.dimStates[i].remove(slot, false)
+			p.ids.Free(slot)
+			return nil, err
+		}
+	}
+
+	// §5 partition pruning: derive the needed partitions from the
+	// partition-key range implied by the query.
+	if p.star.PartCol >= 0 {
+		rq.needParts = p.neededPartitions(q, slot)
+	}
+
+	p.pmMu.Lock()
+	p.rebuildFilterOrderLocked()
+	p.pmActive.Set(slot)
+	p.inFlight++
+	p.live[slot] = rq
+	p.pmMu.Unlock()
+
+	// Algorithm 1, lines 17–22: install the query in the Preprocessor
+	// between two pages (the stall window) and append the query-start
+	// control tuple.
+	done := make(chan struct{})
+	select {
+	case p.pp.cmds <- ppCmd{rq: rq, done: done}:
+	case <-p.stopCh:
+		return nil, ErrPipelineStopped
+	}
+	select {
+	case <-done:
+	case <-p.stopCh:
+		return nil, ErrPipelineStopped
+	}
+	return &Handle{rq: rq, Submission: time.Since(start)}, nil
+}
+
+// neededPartitions computes which fact partitions the query must scan by
+// correlating its predicates with the partitioning scheme. When the
+// partition column is the foreign key of a referenced dimension, the
+// admission-time dimension query already identified the selected
+// dimension tuples; their key range prunes partitions exactly.
+func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
+	parts := p.star.Partitions()
+	need := make([]bool, len(parts))
+	dimIdx := -1
+	for i := range p.star.Dims {
+		if p.star.FKCol[i] == p.star.PartCol && q.DimRefs[i] && q.HasDimPred(i) {
+			dimIdx = i
+			break
+		}
+	}
+	if dimIdx < 0 {
+		for i := range need {
+			need[i] = true
+		}
+		return need
+	}
+	ds := p.dimStates[dimIdx]
+	ds.mu.RLock()
+	minKey, maxKey := int64(0), int64(0)
+	first := true
+	for key, e := range ds.ht {
+		if !e.bv.Get(slot) {
+			continue
+		}
+		if first || key < minKey {
+			minKey = key
+		}
+		if first || key > maxKey {
+			maxKey = key
+		}
+		first = false
+	}
+	ds.mu.RUnlock()
+	if first {
+		return need // query selects no partition-key values: zero pages
+	}
+	for i, part := range parts {
+		if maxKey >= part.MinKey && minKey <= part.MaxKey {
+			need[i] = true
+		}
+	}
+	return need
+}
+
+// cleanup implements Algorithm 2: clear the query's bit everywhere,
+// garbage-collect dimension entries, retire unused Filters, and recycle
+// the query identifier.
+func (p *Pipeline) cleanup(rq *runningQuery) {
+	p.pmMu.Lock()
+	retired := false
+	for i, ds := range p.dimStates {
+		was := ds.refCount() > 0
+		ds.remove(rq.slot, rq.q.DimRefs[i])
+		if was && ds.refCount() == 0 {
+			retired = true
+		}
+	}
+	if retired {
+		p.rebuildFilterOrderLocked()
+	}
+	p.pmActive.Clear(rq.slot)
+	p.inFlight--
+	delete(p.live, rq.slot)
+	p.ids.Free(rq.slot)
+	p.pmMu.Unlock()
+	close(rq.cleaned)
+}
+
+// rebuildFilterOrderLocked recomputes the active-filter list, preserving
+// the current relative order for filters that remain and appending newly
+// activated ones. Callers hold pmMu.
+func (p *Pipeline) rebuildFilterOrderLocked() {
+	old := *p.filterOrder.Load()
+	inOld := make(map[int]bool, len(old))
+	var order []int
+	for _, d := range old {
+		if p.dimStates[d].refCount() > 0 {
+			order = append(order, d)
+			inOld[d] = true
+		}
+	}
+	for d, ds := range p.dimStates {
+		if ds.refCount() > 0 && !inOld[d] {
+			order = append(order, d)
+		}
+	}
+	p.filterOrder.Store(&order)
+}
+
+// ActiveQueries returns the number of queries currently registered.
+func (p *Pipeline) ActiveQueries() int {
+	p.pmMu.Lock()
+	defer p.pmMu.Unlock()
+	return p.inFlight
+}
+
+// Quiesce blocks until no queries are in flight (useful in tests).
+func (p *Pipeline) Quiesce() {
+	for p.ActiveQueries() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Stats is a point-in-time snapshot of pipeline counters.
+type Stats struct {
+	TuplesScanned int64
+	TuplesEmitted int64
+	PagesRead     int64
+	ScanCycles    int64
+	Filters       []FilterStats
+	FilterOrder   []string
+}
+
+// Stats snapshots the pipeline counters and per-filter statistics.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{}
+	if p.pp != nil {
+		s.TuplesScanned = p.pp.tuplesIn.Load()
+		s.TuplesEmitted = p.pp.tuplesOut.Load()
+		s.PagesRead = p.pp.pagesRead.Load()
+		s.ScanCycles = p.pp.scanCycles.Load()
+	}
+	for _, ds := range p.dimStates {
+		s.Filters = append(s.Filters, ds.stats())
+	}
+	for _, d := range *p.filterOrder.Load() {
+		s.FilterOrder = append(s.FilterOrder, p.dimStates[d].table.Name)
+	}
+	return s
+}

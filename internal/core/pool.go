@@ -1,0 +1,44 @@
+package core
+
+// tuplePool is the paper's specialized allocator (§4): it "preallocates
+// data structures for all in-flight tuples, whose number is determined
+// based on the upper bound on the length of a tuple queue and the upper
+// bound on the number of threads". Batches are recycled through a
+// buffered channel, which makes reserve and release single atomic
+// operations and gives the Preprocessor natural backpressure when the
+// pipeline is saturated.
+type tuplePool struct {
+	free chan *batch
+}
+
+func newTuplePool(nBatches, capRows, ncols, words, ndims int) *tuplePool {
+	p := &tuplePool{free: make(chan *batch, nBatches)}
+	for i := 0; i < nBatches; i++ {
+		p.free <- newBatch(capRows, ncols, words, ndims)
+	}
+	return p
+}
+
+// get blocks until a batch is available or stop closes; it returns nil on
+// stop.
+func (p *tuplePool) get(stop <-chan struct{}) *batch {
+	select {
+	case b := <-p.free:
+		b.reset()
+		return b
+	case <-stop:
+		return nil
+	}
+}
+
+// put returns a pooled batch to the free list. Control batches are not
+// pooled and are dropped here.
+func (p *tuplePool) put(b *batch) {
+	if b == nil || !b.pooled {
+		return
+	}
+	p.free <- b
+}
+
+// capSlots returns the pool capacity.
+func (p *tuplePool) capSlots() int { return cap(p.free) }

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"cjoin/internal/bitvec"
+	"cjoin/internal/expr"
+	"cjoin/internal/txn"
+)
+
+// ppCmd asks the Preprocessor to install a registered query between two
+// pages of the continuous scan — the paper's short "stall" window at the
+// end of Algorithm 1 (lines 17–22). done is closed once the query-start
+// control tuple has been appended to the Preprocessor's output.
+type ppCmd struct {
+	rq   *runningQuery
+	done chan struct{}
+}
+
+// preprocessor owns the continuous scan. For every fact tuple τ it
+// initializes the bit-vector bτ — bit i set iff query i is active, τ is
+// visible to the query's snapshot (§3.5: snapshot association is a
+// virtual fact-table predicate), and τ satisfies the query's fact
+// predicate c_i0 (§3.2.2) — and drops tuples with bτ == 0. It detects the
+// wrap-around completion point of every query (§3.3.2) and, for
+// partitioned stars, the early completion point after the query's needed
+// partitions are covered (§5).
+type preprocessor struct {
+	p    *Pipeline
+	scan *factScan
+	cmds chan ppCmd
+	out  chan *batch
+	stop <-chan struct{}
+
+	seq    uint64
+	active []*runningQuery // registered queries, registration order
+	// baseMask has the bits of active queries without fact predicates;
+	// their bits copy in one vector operation per tuple.
+	baseMask bitvec.Vec
+	predQ    []*runningQuery // active queries with fact predicates
+	partRefs []int           // active queries needing each partition
+	mvcc     bool            // fact rows carry xmin/xmax system columns
+
+	scratch expr.Joined // reused for fact-predicate evaluation
+
+	tuplesIn   atomic.Int64
+	tuplesOut  atomic.Int64
+	pagesRead  atomic.Int64
+	scanCycles atomic.Int64
+}
+
+func newPreprocessor(p *Pipeline) *preprocessor {
+	return &preprocessor{
+		p:        p,
+		scan:     newFactScan(p.star, p.cfg.FactSource),
+		cmds:     make(chan ppCmd),
+		out:      make(chan *batch, p.cfg.QueueLen),
+		stop:     p.stopCh,
+		baseMask: bitvec.New(p.cfg.MaxConcurrent),
+		partRefs: make([]int, len(p.star.Partitions())),
+		mvcc:     p.star.Fact.Hidden >= 2,
+	}
+}
+
+func (pp *preprocessor) run() {
+	defer close(pp.out)
+	for {
+		if len(pp.active) == 0 {
+			// Idle: the always-on pipeline parks instead of spinning
+			// the scan.
+			select {
+			case cmd := <-pp.cmds:
+				pp.register(cmd)
+			case <-pp.stop:
+				return
+			}
+			continue
+		}
+		select {
+		case cmd := <-pp.cmds:
+			pp.register(cmd)
+			continue
+		case <-pp.stop:
+			return
+		default:
+		}
+
+		vals, n, pos, part, _, err := pp.scan.nextPage(pp.skipPart)
+		if err != nil {
+			if !pp.emit(ctrlBatch(pp.nextSeq(), ctrlAbort, nil, err)) {
+				return
+			}
+			pp.active = nil
+			continue
+		}
+		if n == 0 {
+			// Nothing scannable; only control work remains.
+			continue
+		}
+		pp.pagesRead.Add(1)
+		if pos == 0 && part == 0 {
+			pp.scanCycles.Add(1)
+		}
+
+		// Wrap-around completion check must run before the page at the
+		// query's start position is emitted a second time (§3.3.2).
+		pp.checkWrapEnds(pos)
+		if len(pp.active) == 0 {
+			continue
+		}
+
+		if !pp.emitPage(vals, n) {
+			return
+		}
+		pp.afterPage(part)
+	}
+}
+
+func (pp *preprocessor) nextSeq() uint64 {
+	s := pp.seq
+	pp.seq++
+	return s
+}
+
+// emit sends a batch downstream; it returns false when the pipeline is
+// stopping.
+func (pp *preprocessor) emit(b *batch) bool {
+	select {
+	case pp.out <- b:
+		return true
+	case <-pp.stop:
+		return false
+	}
+}
+
+// register installs a new query (Algorithm 1 lines 19–22): extend Q, mark
+// the start position, emit the query-start control tuple, resume.
+func (pp *preprocessor) register(cmd ppCmd) {
+	rq := cmd.rq
+	rq.startPos = pp.scan.position()
+	rq.sawStart = false
+	if pp.scan.static {
+		var pages int64
+		for i, need := range rq.needParts {
+			if need {
+				pp.partRefs[i]++
+				pages += int64(pp.scan.pagesInPart(i))
+			}
+		}
+		rq.pagesLeft = pages
+		rq.pagesTotal.Store(pages)
+	} else {
+		rq.pagesLeft = -1
+		pp.partRefs[0]++
+		rq.pagesTotal.Store(int64(pp.scan.totalPages()))
+	}
+	pp.active = append(pp.active, rq)
+	if rq.q.HasFactPred() {
+		pp.predQ = append(pp.predQ, rq)
+	} else {
+		pp.baseMask.Set(rq.slot)
+	}
+	pp.emit(ctrlBatch(pp.nextSeq(), ctrlStart, rq, nil))
+	close(cmd.done)
+
+	// A query needing zero pages (e.g. every partition pruned, or an
+	// empty fact table) completes immediately.
+	if rq.pagesLeft == 0 || (!pp.scan.static && pp.scan.totalPages() == 0) {
+		pp.finish(rq)
+	}
+}
+
+// finish emits the end-of-query control tuple and removes the query from
+// the Preprocessor's state (§3.3.2).
+func (pp *preprocessor) finish(rq *runningQuery) {
+	pp.baseMask.Clear(rq.slot)
+	for i, q := range pp.active {
+		if q == rq {
+			pp.active = append(pp.active[:i], pp.active[i+1:]...)
+			break
+		}
+	}
+	for i, q := range pp.predQ {
+		if q == rq {
+			pp.predQ = append(pp.predQ[:i], pp.predQ[i+1:]...)
+			break
+		}
+	}
+	if pp.scan.static {
+		for i, need := range rq.needParts {
+			if need {
+				pp.partRefs[i]--
+			}
+		}
+	} else {
+		pp.partRefs[0]--
+	}
+	pp.emit(ctrlBatch(pp.nextSeq(), ctrlEnd, rq, nil))
+}
+
+// checkWrapEnds finalizes unpartitioned queries whose full cycle is
+// complete: the scan is back at the query's start position.
+func (pp *preprocessor) checkWrapEnds(pos int64) {
+	for i := 0; i < len(pp.active); i++ {
+		rq := pp.active[i]
+		if rq.pagesLeft >= 0 || pos != rq.startPos {
+			continue
+		}
+		if !rq.sawStart {
+			rq.sawStart = true
+			continue
+		}
+		pp.finish(rq)
+		i--
+	}
+}
+
+// afterPage performs per-page accounting for partitioned queries and
+// finalizes those whose needed partitions are fully covered.
+func (pp *preprocessor) afterPage(part int) {
+	for i := 0; i < len(pp.active); i++ {
+		rq := pp.active[i]
+		if rq.pagesLeft < 0 {
+			rq.pagesDone.Add(1)
+			continue
+		}
+		if !rq.needParts[part] {
+			continue
+		}
+		rq.pagesLeft--
+		rq.pagesDone.Add(1)
+		if rq.pagesLeft == 0 {
+			pp.finish(rq)
+			i--
+		}
+	}
+}
+
+// skipPart reports whether no active query needs partition i (§5: the
+// continuous scan covers only the union of needed partitions).
+func (pp *preprocessor) skipPart(i int) bool { return pp.partRefs[i] == 0 }
+
+// emitPage turns one fact page into data batches, initializing every
+// tuple's bit-vector. It returns false when the pipeline is stopping.
+func (pp *preprocessor) emitPage(vals []int64, n int) bool {
+	ncols := pp.scan.ncols
+	b := pp.p.pool.get(pp.stop)
+	if b == nil {
+		return false
+	}
+	pp.tuplesIn.Add(int64(n))
+	for r := 0; r < n; r++ {
+		row := vals[r*ncols : (r+1)*ncols]
+		if b.full() {
+			b.seq = pp.nextSeq()
+			pp.tuplesOut.Add(int64(len(b.rows)))
+			if !pp.emit(b) {
+				return false
+			}
+			if b = pp.p.pool.get(pp.stop); b == nil {
+				return false
+			}
+		}
+		t := b.alloc()
+		copy(t.row, row)
+		t.bv.CopyFrom(pp.baseMask)
+
+		mvccRow := pp.mvcc && (row[0] != 0 || row[1] != 0)
+		if mvccRow {
+			// Slow path: per-query snapshot visibility (§3.5).
+			for _, rq := range pp.active {
+				if !rq.q.HasFactPred() && !txn.Visible(row[0], row[1], rq.q.Snapshot) {
+					t.bv.Clear(rq.slot)
+				}
+			}
+		}
+		for _, rq := range pp.predQ {
+			if mvccRow && !txn.Visible(row[0], row[1], rq.q.Snapshot) {
+				continue
+			}
+			pp.scratch.Fact = t.row
+			if rq.q.FactPred.Eval(&pp.scratch) != 0 {
+				t.bv.Set(rq.slot)
+			}
+		}
+		if t.bv.IsZero() {
+			b.unalloc()
+		}
+	}
+	if len(b.rows) == 0 {
+		pp.p.pool.put(b)
+		return true
+	}
+	b.seq = pp.nextSeq()
+	pp.tuplesOut.Add(int64(len(b.rows)))
+	return pp.emit(b)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"cjoin/internal/catalog"
+	"cjoin/internal/storage"
+)
+
+// scanPart is one partition of the continuous scan's input.
+type scanPart struct {
+	src PageSource
+}
+
+// factScan is the continuous scan feeding the Preprocessor (§3.1): it
+// cycles over the fact source — or, for a partitioned star (§5), over the
+// sequence of fact partitions — forever, in a stable order, reporting the
+// absolute row position of every page so queries can be started and
+// finalized at exact positions (§3.3.3).
+type factScan struct {
+	parts   []scanPart
+	static  bool // partitioned stars are static; single heaps may grow
+	rpp     int
+	ncols   int
+	offsets []int64 // starting row position of each partition (static)
+
+	partIdx int
+	page    int
+	vals    []int64
+	scratch []byte
+}
+
+func newFactScan(star *catalog.Star, override PageSource) *factScan {
+	var parts []scanPart
+	if override != nil {
+		parts = []scanPart{{src: override}}
+	} else {
+		for _, p := range star.Partitions() {
+			parts = append(parts, scanPart{src: p.Heap})
+		}
+	}
+	first := parts[0].src
+	s := &factScan{
+		parts:   parts,
+		static:  len(parts) > 1,
+		rpp:     first.RowsPerPage(),
+		ncols:   first.NumCols(),
+		vals:    make([]int64, first.RowsPerPage()*first.NumCols()),
+		scratch: make([]byte, storage.PageSize),
+	}
+	if s.static {
+		s.offsets = make([]int64, len(parts))
+		var off int64
+		for i, p := range parts {
+			s.offsets[i] = off
+			off += int64(p.src.NumPages()) * int64(s.rpp)
+		}
+	}
+	return s
+}
+
+// pagesInPart returns the page count of partition i.
+func (s *factScan) pagesInPart(i int) int { return s.parts[i].src.NumPages() }
+
+// totalPages returns the current total page count across partitions.
+func (s *factScan) totalPages() int {
+	n := 0
+	for i := range s.parts {
+		n += s.parts[i].src.NumPages()
+	}
+	return n
+}
+
+// position returns the absolute row position of the page the scan will
+// deliver next, or 0 when nothing is scannable.
+func (s *factScan) position() int64 {
+	s.skipEmpty(nil)
+	if s.partIdx >= len(s.parts) || s.page >= s.parts[s.partIdx].src.NumPages() {
+		return 0
+	}
+	return s.posOf(s.partIdx, s.page)
+}
+
+func (s *factScan) posOf(part, page int) int64 {
+	base := int64(0)
+	if s.static {
+		base = s.offsets[part]
+	}
+	return base + int64(page)*int64(s.rpp)
+}
+
+// skipEmpty advances past exhausted or skipped partitions, wrapping to
+// the first partition as needed. It reports whether it wrapped.
+func (s *factScan) skipEmpty(skip func(part int) bool) (wrapped bool) {
+	for hops := 0; hops <= len(s.parts); hops++ {
+		if s.partIdx >= len(s.parts) {
+			s.partIdx = 0
+			s.page = 0
+			wrapped = true
+		}
+		if s.page < s.parts[s.partIdx].src.NumPages() && (skip == nil || !skip(s.partIdx)) {
+			return wrapped
+		}
+		s.partIdx++
+		s.page = 0
+	}
+	return wrapped
+}
+
+// nextPage delivers the next page in the cycle. skip, if non-nil, lets
+// the caller omit partitions no active query needs (§5: "a sequential
+// scan of the union of identified partitions"). It returns the decoded
+// values (aliasing an internal buffer), row count, absolute position,
+// partition index, and whether the scan wrapped past the end to produce
+// this page. n == 0 with err == nil means nothing is scannable (empty or
+// fully skipped fact table).
+func (s *factScan) nextPage(skip func(part int) bool) (vals []int64, n int, pos int64, part int, wrapped bool, err error) {
+	wrapped = s.skipEmpty(skip)
+	if s.partIdx >= len(s.parts) {
+		// Everything is empty or skipped.
+		return nil, 0, 0, 0, wrapped, nil
+	}
+	p := s.parts[s.partIdx]
+	if s.page >= p.src.NumPages() || (skip != nil && skip(s.partIdx)) {
+		return nil, 0, 0, s.partIdx, wrapped, nil
+	}
+	pos = s.posOf(s.partIdx, s.page)
+	n, err = p.src.ReadPage(s.page, s.vals, s.scratch)
+	if err != nil {
+		return nil, 0, 0, s.partIdx, wrapped, err
+	}
+	part = s.partIdx
+	// Advance by one page only; partition hand-off happens lazily in
+	// skipEmpty so a single growing heap picks up appended tail pages
+	// before wrapping.
+	s.page++
+	return s.vals, n, pos, part, wrapped, nil
+}

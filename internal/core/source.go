@@ -1,0 +1,18 @@
+package core
+
+// PageSource abstracts the physical representation behind the continuous
+// fact scan. *storage.HeapFile satisfies it, and so does a column-store
+// scan/merge (internal/colstore), which is how the §5 column-store
+// extension plugs in: "the continuous fact table scan can be realized
+// with a continuous scan/merge of only those fact table columns that are
+// accessed by the current query mix".
+//
+// A source must be stable: pages keep their positions across cycles
+// (§3.3.3). Row width must match the star's fact schema; columns the
+// query mix never touches may hold arbitrary values.
+type PageSource interface {
+	NumCols() int
+	RowsPerPage() int
+	NumPages() int
+	ReadPage(page int, dst []int64, scratch []byte) (int, error)
+}

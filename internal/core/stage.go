@@ -1,0 +1,94 @@
+package core
+
+import "sync"
+
+// startStages wires the Filter sequence between the Preprocessor output
+// and the Distributor input according to the configured layout (§4) and
+// returns the channel the Distributor should consume.
+//
+// Control batches pass through Stages untouched; batch sequence numbers
+// let the Distributor restore global order, so Stages are free to process
+// batches concurrently.
+func (p *Pipeline) startStages(in chan *batch) chan *batch {
+	switch p.cfg.Layout {
+	case Vertical:
+		// One single-threaded Stage per Filter, chained.
+		cur := in
+		for d := range p.dimStates {
+			cur = p.startStage(cur, []int{d}, 1)
+		}
+		return cur
+	case Hybrid:
+		// Config.Stages chained Stages, Filters split round-robin in
+		// dimension order, Workers divided among Stages.
+		nStages := p.cfg.Stages
+		if nStages > len(p.dimStates) {
+			nStages = len(p.dimStates)
+		}
+		if nStages < 1 {
+			nStages = 1
+		}
+		groups := make([][]int, nStages)
+		for d := range p.dimStates {
+			g := d * nStages / len(p.dimStates)
+			groups[g] = append(groups[g], d)
+		}
+		perStage := p.cfg.Workers / nStages
+		if perStage < 1 {
+			perStage = 1
+		}
+		cur := in
+		for _, g := range groups {
+			cur = p.startStage(cur, g, perStage)
+		}
+		return cur
+	default: // Horizontal
+		// One Stage running the whole (dynamically ordered) Filter
+		// sequence on Workers threads.
+		return p.startStage(in, nil, p.cfg.Workers)
+	}
+}
+
+// startStage launches workers consuming in and producing a new output
+// channel. dims lists the Filters this Stage applies in order; nil means
+// "use the pipeline's current optimized filter order" (horizontal mode).
+func (p *Pipeline) startStage(in chan *batch, dims []int, workers int) chan *batch {
+	out := make(chan *batch, p.cfg.QueueLen)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range in {
+				if b.ctrl == nil {
+					order := dims
+					if order == nil {
+						order = *p.filterOrder.Load()
+					}
+					for _, d := range order {
+						if len(b.rows) == 0 {
+							break
+						}
+						p.dimStates[d].filterBatch(b)
+					}
+					if len(b.rows) == 0 {
+						// Fully filtered: recycle here, but the batch
+						// must still reach the Distributor to keep the
+						// sequence contiguous.
+						b.rows = b.rows[:0]
+					}
+				}
+				select {
+				case out <- b:
+				case <-p.stopCh:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

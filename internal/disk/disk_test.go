@@ -1,0 +1,129 @@
+package disk
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendRead(t *testing.T) {
+	d := NewMem()
+	off1 := d.Append([]byte("hello"))
+	off2 := d.Append([]byte("world"))
+	if off1 != 0 || off2 != 5 {
+		t.Fatalf("offsets %d,%d", off1, off2)
+	}
+	buf := make([]byte, 5)
+	if err := d.ReadAt(buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("world")) {
+		t.Fatalf("got %q", buf)
+	}
+	if d.Size() != 10 {
+		t.Fatalf("size %d", d.Size())
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	d := NewMem()
+	d.Append(make([]byte, 8))
+	if err := d.ReadAt(make([]byte, 4), 6); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := d.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("expected negative-offset error")
+	}
+}
+
+func TestWriteAt(t *testing.T) {
+	d := NewMem()
+	d.Append([]byte("aaaa"))
+	if err := d.WriteAt([]byte("bb"), 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abba" {
+		t.Fatalf("got %q", buf)
+	}
+	if err := d.WriteAt([]byte("xx"), 3); err == nil {
+		t.Fatal("expected out-of-range write error")
+	}
+}
+
+func TestSeekAccounting(t *testing.T) {
+	d := NewMem()
+	d.Append(make([]byte, 100))
+	buf := make([]byte, 10)
+	// Sequential walk: only the first read seeks.
+	for off := int64(0); off < 100; off += 10 {
+		if err := d.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.Seeks != 1 || s.Reads != 10 || s.BytesRead != 100 {
+		t.Fatalf("sequential stats %+v", s)
+	}
+	d.ResetStats()
+	// Two interleaved "sequential" streams: every read seeks.
+	for i := int64(0); i < 5; i++ {
+		if err := d.ReadAt(buf, i*10); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReadAt(buf, 50+i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.Seeks != 10 {
+		t.Fatalf("interleaved streams should seek on every read, stats %+v", s)
+	}
+}
+
+func TestSimulatedLatencyCharged(t *testing.T) {
+	d := New(Config{SeqBytesPerSec: 1 << 30, SeekPenalty: time.Millisecond})
+	d.Append(make([]byte, 64))
+	start := time.Now()
+	buf := make([]byte, 8)
+	// 4 seeking reads => >= 4ms of simulated service time.
+	for i := 0; i < 4; i++ {
+		if err := d.ReadAt(buf, 16); err != nil { // same offset twice in a row still seeks: lastEnd=24
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("simulated latency not charged: %v", elapsed)
+	}
+	if s := d.Stats(); s.Waited < 4*time.Millisecond {
+		t.Fatalf("waited %v", s.Waited)
+	}
+}
+
+func TestConcurrentReadersSerialized(t *testing.T) {
+	d := New(Config{SeekPenalty: 500 * time.Microsecond})
+	d.Append(make([]byte, 1024))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for i := 0; i < 5; i++ {
+				if err := d.ReadAt(buf, int64(w*256+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 20 reads, nearly all seeking, serialized on one device: the total
+	// elapsed time must reflect a shared resource, not 4 parallel ones.
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("device not serialized: %v", elapsed)
+	}
+}

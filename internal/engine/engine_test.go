@@ -1,0 +1,177 @@
+package engine_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/engine"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+	"cjoin/internal/ssb"
+)
+
+func dataset(t testing.TB) *ssb.Dataset {
+	t.Helper()
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestExecuteMatchesReference(t *testing.T) {
+	ds := dataset(t)
+	e := engine.New(ds.Star, engine.SystemXConfig())
+	rng := rand.New(rand.NewSource(21))
+	for _, tpl := range ssb.Templates() {
+		sqlText := ds.Instantiate(tpl, 0.1, rng)
+		q, err := query.ParseBind(sqlText, ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", tpl.ID, err)
+		}
+		want, err := ref.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.ResultsEqual(got, want) {
+			t.Fatalf("%s: engine diverges from reference\nSQL: %s\ngot:  %v\nwant: %v", tpl.ID, sqlText, got, want)
+		}
+		if len(got) == 0 {
+			t.Logf("%s: empty result (selectivity landed on empty range)", tpl.ID)
+		}
+	}
+}
+
+func TestSharedScansMatchReference(t *testing.T) {
+	ds := dataset(t)
+	e := engine.New(ds.Star, engine.PostgresConfig())
+	rng := rand.New(rand.NewSource(22))
+	// Issue several queries so scan positions rotate; results must not
+	// depend on the scan starting offset.
+	for i := 0; i < 6; i++ {
+		tpl, _ := ssb.TemplateByID("Q4.2")
+		sqlText := ds.Instantiate(tpl, 0.1, rng)
+		q, err := query.ParseBind(sqlText, ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.ResultsEqual(got, want) {
+			t.Fatalf("iteration %d: shared-scan results diverge", i)
+		}
+	}
+}
+
+func TestConcurrentQueriesIndependent(t *testing.T) {
+	ds := dataset(t)
+	e := engine.New(ds.Star, engine.SystemXConfig())
+	rng := rand.New(rand.NewSource(23))
+	type job struct {
+		q    *query.Bound
+		want []agg.Result
+	}
+	var jobs []job
+	for i := 0; i < 8; i++ {
+		tpl := ssb.Templates()[i%len(ssb.Templates())]
+		q, err := query.ParseBind(ds.Instantiate(tpl, 0.05, rng), ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{q, want})
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			got, err := e.Execute(j.q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !ref.ResultsEqual(got, j.want) {
+				t.Error("concurrent execution changed results")
+			}
+		}(j)
+	}
+	wg.Wait()
+}
+
+func TestPartitionedStarExecution(t *testing.T) {
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 3000, Seed: 31, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(ds.Star, engine.SystemXConfig())
+	rng := rand.New(rand.NewSource(32))
+	tpl, _ := ssb.TemplateByID("Q2.1")
+	q, err := query.ParseBind(ds.Instantiate(tpl, 0.2, rng), ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.ResultsEqual(got, want) {
+		t.Fatal("partitioned execution diverges from reference")
+	}
+}
+
+func TestOrderByApplied(t *testing.T) {
+	ds := dataset(t)
+	e := engine.New(ds.Star, engine.SystemXConfig())
+	q, err := query.ParseBind(`SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date
+		WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year DESC`, ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < 2 {
+		t.Fatalf("expected several years, got %d", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Group[0] > rs[i-1].Group[0] {
+			t.Fatal("DESC order violated")
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ds := dataset(t)
+	e := engine.New(ds.Star, engine.SystemXConfig())
+	rng := rand.New(rand.NewSource(5))
+	tpl, _ := ssb.TemplateByID("Q4.2")
+	q, err := query.ParseBind(ds.Instantiate(tpl, 0.01, rng), ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := e.Explain(q)
+	if plan == "" {
+		t.Fatal("empty plan")
+	}
+}

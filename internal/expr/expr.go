@@ -1,0 +1,229 @@
+// Package expr implements bound, typed expression trees evaluated over
+// joined star rows.
+//
+// A bound expression references columns by (slot, index): slot 0 is the
+// fact table, slot i+1 is dimension i of the star. Per-table selection
+// predicates (the σ_cj of §2.1) are bound with the table's row in slot 0.
+// Booleans are represented as int64 0/1.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Joined is a fact row plus the dimension rows it joins to. Dimension
+// slots may be nil when the query does not reference that dimension.
+type Joined struct {
+	Fact []int64
+	Dims [][]int64
+}
+
+// Node is an expression evaluated over a joined row.
+type Node interface {
+	Eval(j *Joined) int64
+	String() string
+}
+
+// Op enumerates binary operators.
+type Op int
+
+// Binary operators. Comparison and logical operators yield 0 or 1.
+const (
+	Add Op = iota
+	Sub
+	Mul
+	Div
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	And
+	Or
+)
+
+var opNames = [...]string{"+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+
+func (o Op) String() string { return opNames[o] }
+
+// Col references a column of the joined row.
+type Col struct {
+	Slot int    // 0 = fact, i+1 = dimension i
+	Idx  int    // column index within the table (including hidden columns)
+	Name string // for diagnostics
+}
+
+// Eval returns the referenced value. A nil table slot yields 0; binding
+// guarantees referenced slots are populated, so this is defensive.
+func (c Col) Eval(j *Joined) int64 {
+	var row []int64
+	if c.Slot == 0 {
+		row = j.Fact
+	} else if c.Slot-1 < len(j.Dims) {
+		row = j.Dims[c.Slot-1]
+	}
+	if row == nil {
+		return 0
+	}
+	return row[c.Idx]
+}
+
+func (c Col) String() string { return c.Name }
+
+// Const is an int64 literal (possibly a dictionary-encoded string).
+type Const struct {
+	V   int64
+	Str string // original string literal, if any, for diagnostics
+}
+
+// Eval returns the literal value.
+func (k Const) Eval(*Joined) int64 { return k.V }
+
+func (k Const) String() string {
+	if k.Str != "" {
+		return fmt.Sprintf("%q", k.Str)
+	}
+	return fmt.Sprintf("%d", k.V)
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   Op
+	L, R Node
+}
+
+// Eval evaluates the operator with short-circuit AND/OR. Division by zero
+// yields 0, mirroring the defensive convention of warehouse engines that
+// must not abort a shared scan on one query's bad arithmetic.
+func (b Bin) Eval(j *Joined) int64 {
+	switch b.Op {
+	case And:
+		if b.L.Eval(j) == 0 {
+			return 0
+		}
+		return boolToInt(b.R.Eval(j) != 0)
+	case Or:
+		if b.L.Eval(j) != 0 {
+			return 1
+		}
+		return boolToInt(b.R.Eval(j) != 0)
+	}
+	l, r := b.L.Eval(j), b.R.Eval(j)
+	switch b.Op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	case Div:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case Eq:
+		return boolToInt(l == r)
+	case Ne:
+		return boolToInt(l != r)
+	case Lt:
+		return boolToInt(l < r)
+	case Le:
+		return boolToInt(l <= r)
+	case Gt:
+		return boolToInt(l > r)
+	case Ge:
+		return boolToInt(l >= r)
+	}
+	panic(fmt.Sprintf("expr: unknown op %d", b.Op))
+}
+
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean operand.
+type Not struct{ X Node }
+
+// Eval returns 1 if X evaluates to 0, else 0.
+func (n Not) Eval(j *Joined) int64 { return boolToInt(n.X.Eval(j) == 0) }
+
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// In tests membership of X in a literal set.
+type In struct {
+	X    Node
+	Vals []int64
+	set  map[int64]struct{}
+}
+
+// NewIn builds an In node with a hashed member set.
+func NewIn(x Node, vals []int64) *In {
+	set := make(map[int64]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	return &In{X: x, Vals: vals, set: set}
+}
+
+// Eval returns 1 if X's value is in the set.
+func (in *In) Eval(j *Joined) int64 {
+	_, ok := in.set[in.X.Eval(j)]
+	return boolToInt(ok)
+}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("(%s IN (%s))", in.X, strings.Join(parts, ", "))
+}
+
+// TRUE is the always-true predicate, used for queries that place no
+// predicate on a table (c_ij ≡ TRUE in §2.1).
+var TRUE Node = Const{V: 1}
+
+// Between returns l <= x AND x <= h as an expression tree.
+func Between(x Node, lo, hi int64) Node {
+	return Bin{Op: And,
+		L: Bin{Op: Ge, L: x, R: Const{V: lo}},
+		R: Bin{Op: Le, L: x, R: Const{V: hi}},
+	}
+}
+
+// AndAll conjoins the given predicates; an empty list yields TRUE.
+func AndAll(preds []Node) Node {
+	switch len(preds) {
+	case 0:
+		return TRUE
+	case 1:
+		return preds[0]
+	}
+	e := preds[0]
+	for _, p := range preds[1:] {
+		e = Bin{Op: And, L: e, R: p}
+	}
+	return e
+}
+
+// Predicate compiles a node into a boolean closure. Single-table
+// predicates should be evaluated with EvalRow.
+func Predicate(n Node) func(j *Joined) bool {
+	return func(j *Joined) bool { return n.Eval(j) != 0 }
+}
+
+// EvalRow evaluates a single-table predicate (bound with slot 0) against
+// one row of that table.
+func EvalRow(n Node, row []int64) bool {
+	j := Joined{Fact: row}
+	return n.Eval(&j) != 0
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

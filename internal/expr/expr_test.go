@@ -1,0 +1,146 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func col(idx int) Col { return Col{Slot: 0, Idx: idx, Name: "c"} }
+
+func TestArithmetic(t *testing.T) {
+	j := &Joined{Fact: []int64{6, 3}}
+	cases := []struct {
+		n    Node
+		want int64
+	}{
+		{Bin{Op: Add, L: col(0), R: col(1)}, 9},
+		{Bin{Op: Sub, L: col(0), R: col(1)}, 3},
+		{Bin{Op: Mul, L: col(0), R: col(1)}, 18},
+		{Bin{Op: Div, L: col(0), R: col(1)}, 2},
+		{Bin{Op: Div, L: col(0), R: Const{V: 0}}, 0}, // div-by-zero convention
+	}
+	for _, c := range cases {
+		if got := c.n.Eval(j); got != c.want {
+			t.Errorf("%s = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	j := &Joined{Fact: []int64{5}}
+	cases := []struct {
+		op   Op
+		r    int64
+		want int64
+	}{
+		{Eq, 5, 1}, {Eq, 4, 0}, {Ne, 4, 1}, {Lt, 6, 1}, {Lt, 5, 0},
+		{Le, 5, 1}, {Gt, 4, 1}, {Gt, 5, 0}, {Ge, 5, 1}, {Ge, 6, 0},
+	}
+	for _, c := range cases {
+		n := Bin{Op: c.op, L: col(0), R: Const{V: c.r}}
+		if got := n.Eval(j); got != c.want {
+			t.Errorf("%s = %d, want %d", n, got, c.want)
+		}
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	// Right operand would divide by... rather, use a panic guard column
+	// out of range to detect evaluation; instead verify truth table.
+	j := &Joined{Fact: []int64{0, 1}}
+	and := Bin{Op: And, L: col(0), R: col(1)}
+	or := Bin{Op: Or, L: col(1), R: col(0)}
+	if and.Eval(j) != 0 || or.Eval(j) != 1 {
+		t.Fatal("AND/OR truth table broken")
+	}
+	if (Not{X: col(0)}).Eval(j) != 1 || (Not{X: col(1)}).Eval(j) != 0 {
+		t.Fatal("NOT broken")
+	}
+}
+
+func TestIn(t *testing.T) {
+	in := NewIn(col(0), []int64{2, 4, 8})
+	if !EvalRow(in, []int64{4}) || EvalRow(in, []int64{5}) {
+		t.Fatal("IN membership wrong")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	b := Between(col(0), 10, 20)
+	for v, want := range map[int64]bool{9: false, 10: true, 15: true, 20: true, 21: false} {
+		if EvalRow(b, []int64{v}) != want {
+			t.Errorf("between(%d) != %v", v, want)
+		}
+	}
+}
+
+func TestAndAll(t *testing.T) {
+	if AndAll(nil) != TRUE {
+		t.Fatal("empty AndAll must be TRUE")
+	}
+	p := AndAll([]Node{
+		Bin{Op: Gt, L: col(0), R: Const{V: 1}},
+		Bin{Op: Lt, L: col(0), R: Const{V: 5}},
+	})
+	if !EvalRow(p, []int64{3}) || EvalRow(p, []int64{5}) {
+		t.Fatal("AndAll conjunction wrong")
+	}
+}
+
+func TestDimSlots(t *testing.T) {
+	j := &Joined{Fact: []int64{1}, Dims: [][]int64{{7, 8}, nil}}
+	d0 := Col{Slot: 1, Idx: 1, Name: "d0.c1"}
+	if d0.Eval(j) != 8 {
+		t.Fatalf("dim slot read %d", d0.Eval(j))
+	}
+	// Missing dimension row reads as 0 (defensive).
+	d1 := Col{Slot: 2, Idx: 0, Name: "d1.c0"}
+	if d1.Eval(j) != 0 {
+		t.Fatal("nil dim slot must read 0")
+	}
+}
+
+// Property: Between(x, lo, hi) == (lo <= x && x <= hi) for random values.
+func TestBetweenQuick(t *testing.T) {
+	f := func(x, a, b int64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := x >= lo && x <= hi
+		return EvalRow(Between(col(0), lo, hi), []int64{x}) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan — NOT(a AND b) == (NOT a) OR (NOT b).
+func TestDeMorganQuick(t *testing.T) {
+	f := func(a, b bool) bool {
+		row := []int64{bool2i(a), bool2i(b)}
+		lhs := Not{X: Bin{Op: And, L: col(0), R: col(1)}}
+		rhs := Bin{Op: Or, L: Not{X: col(0)}, R: Not{X: col(1)}}
+		return EvalRow(lhs, row) == EvalRow(rhs, row)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bool2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestStringForms(t *testing.T) {
+	n := Bin{Op: And, L: Bin{Op: Ge, L: col(0), R: Const{V: 3}}, R: NewIn(col(1), []int64{1})}
+	if n.String() == "" {
+		t.Fatal("String must render")
+	}
+	if (Const{V: 1, Str: "ASIA"}).String() != `"ASIA"` {
+		t.Fatal("string literal rendering")
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"cjoin/internal/core"
+	"cjoin/internal/ssb"
+)
+
+// RunAblationCompression compares CJOIN throughput over a raw fact table
+// against an RLE-compressed one (§5 "Compressed Tables"): the continuous
+// scan transfers the compressed footprint over the bandwidth-limited
+// device and decompresses on the fly.
+func RunAblationCompression(cfg Config, n int) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if n <= 0 {
+		n = 16
+	}
+	fig := Figure{
+		ID:     "ablation-compress",
+		Title:  "Ablation: compressed fact table (§5)",
+		XLabel: "compression enabled (1=yes)",
+		YLabel: "throughput (queries/hour)",
+		X:      []float64{0, 1},
+	}
+	s := Series{Name: "CJOIN"}
+	ratio := Series{Name: "compression ratio"}
+	for _, compress := range []bool{false, true} {
+		ds, err := ssb.Generate(ssb.Config{
+			SF:            cfg.SF,
+			FactRowsPerSF: cfg.FactRowsPerSF,
+			Seed:          cfg.Seed,
+			Disk:          cfg.Disk,
+			CompressFact:  compress,
+		})
+		if err != nil {
+			return fig, err
+		}
+		env := &Env{Dataset: ds, Cfg: cfg}
+		m, err := env.RunCJoin(n, core.Config{MaxConcurrent: cfg.MaxConcurrent}, "")
+		if err != nil {
+			return fig, err
+		}
+		s.Y = append(s.Y, m.Throughput)
+		raw := int64(ds.Lineorder.Heap.FlushedPages()) * 8192
+		comp := ds.Lineorder.Heap.FlushedBytes()
+		if comp > 0 {
+			ratio.Y = append(ratio.Y, float64(raw)/float64(comp))
+		} else {
+			ratio.Y = append(ratio.Y, 1)
+		}
+	}
+	fig.Series = []Series{s, ratio}
+	return fig, nil
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the figure as an aligned text table: one row per x
+// value, one column per series.
+func (f Figure) Format() string {
+	var sb strings.Builder
+	sb.WriteString(f.Title)
+	sb.WriteByte('\n')
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := [][]string{headers}
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[c]+2, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(fmt.Sprintf("(%s on the y-axis)\n", f.YLabel))
+	return sb.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, x := range f.X {
+		sb.WriteString(trimFloat(x))
+		for _, s := range f.Series {
+			sb.WriteByte(',')
+			if i < len(s.Y) {
+				sb.WriteString(fmt.Sprintf("%g", s.Y[i]))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SeriesByName returns the named series, or false.
+func (f Figure) SeriesByName(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

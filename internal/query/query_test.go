@@ -1,0 +1,212 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"cjoin/internal/catalog"
+	"cjoin/internal/disk"
+	"cjoin/internal/expr"
+)
+
+// testStar builds a 2-dimension star:
+//
+//	f(xmin, xmax, fk_a, fk_b, v)
+//	da(a_key, a_region[str], a_num)
+//	db(b_key, b_city[str])
+func testStar(t *testing.T) *catalog.Star {
+	t.Helper()
+	dev := disk.NewMem()
+	fact := catalog.NewTable(dev, "f", 2, []catalog.Column{
+		{Name: "xmin"}, {Name: "xmax"},
+		{Name: "fk_a"}, {Name: "fk_b"}, {Name: "v"},
+	})
+	da := catalog.NewTable(dev, "da", 0, []catalog.Column{
+		{Name: "a_key"}, {Name: "a_region", Type: catalog.Str}, {Name: "a_num"},
+	})
+	db := catalog.NewTable(dev, "db", 0, []catalog.Column{
+		{Name: "b_key"}, {Name: "b_city", Type: catalog.Str},
+	})
+	da.Dicts[1].Encode("ASIA")
+	da.Dicts[1].Encode("EUROPE")
+	db.Dicts[1].Encode("LYON")
+	s, err := catalog.NewStar(fact, []*catalog.Table{da, db}, []int{2, 3}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBindFullStarQuery(t *testing.T) {
+	s := testStar(t)
+	b, err := ParseBind(`
+		SELECT SUM(v), COUNT(*), a_num
+		FROM f, da, db
+		WHERE fk_a = a_key AND fk_b = b_key
+		  AND a_region = 'ASIA' AND b_city = 'LYON' AND v > 10
+		GROUP BY a_num
+		ORDER BY a_num DESC`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.DimRefs[0] || !b.DimRefs[1] {
+		t.Fatalf("dim refs %v", b.DimRefs)
+	}
+	if !b.HasDimPred(0) || !b.HasDimPred(1) {
+		t.Fatal("dimension predicates missing")
+	}
+	if !b.HasFactPred() {
+		t.Fatal("fact predicate missing")
+	}
+	if len(b.Aggs) != 2 || len(b.GroupBy) != 1 {
+		t.Fatalf("aggs %d groups %d", len(b.Aggs), len(b.GroupBy))
+	}
+	if len(b.OrderBy) != 1 || !b.OrderBy[0].Desc || b.OrderBy[0].Col != 0 {
+		t.Fatalf("order by %v", b.OrderBy)
+	}
+	// The dim predicate must accept an ASIA row and reject EUROPE.
+	asia, _ := s.Dims[0].Dicts[1].Lookup("ASIA")
+	europe, _ := s.Dims[0].Dicts[1].Lookup("EUROPE")
+	if !expr.EvalRow(b.DimPreds[0], []int64{1, asia, 0}) {
+		t.Fatal("ASIA row must pass")
+	}
+	if expr.EvalRow(b.DimPreds[0], []int64{1, europe, 0}) {
+		t.Fatal("EUROPE row must fail")
+	}
+	// Fact predicate evaluates over the full fact row including hidden cols.
+	if !expr.EvalRow(b.FactPred, []int64{0, 0, 1, 1, 11}) {
+		t.Fatal("fact row v=11 must pass")
+	}
+	if expr.EvalRow(b.FactPred, []int64{0, 0, 1, 1, 10}) {
+		t.Fatal("fact row v=10 must fail")
+	}
+}
+
+func TestBindDimWithoutPredicate(t *testing.T) {
+	s := testStar(t)
+	// da joined only for grouping: predicate must be TRUE, dim referenced.
+	b, err := ParseBind("SELECT SUM(v), a_num FROM f, da WHERE fk_a = a_key GROUP BY a_num", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.DimRefs[0] || b.DimRefs[1] {
+		t.Fatalf("dim refs %v", b.DimRefs)
+	}
+	if b.HasDimPred(0) {
+		t.Fatal("no predicate expected on da")
+	}
+	if b.HasFactPred() {
+		t.Fatal("no fact predicate expected")
+	}
+	// Group-by column binds to joined-row slot 1 (dimension 0).
+	col := b.GroupBy[0].(expr.Col)
+	if col.Slot != 1 || col.Idx != 2 {
+		t.Fatalf("group col %+v", col)
+	}
+}
+
+func TestBindUnknownStringLiteral(t *testing.T) {
+	s := testStar(t)
+	b, err := ParseBind("SELECT COUNT(*) FROM f, da WHERE fk_a = a_key AND a_region = 'NOWHERE'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown string encodes as an impossible id: predicate always false.
+	asia, _ := s.Dims[0].Dicts[1].Lookup("ASIA")
+	if expr.EvalRow(b.DimPreds[0], []int64{1, asia, 0}) {
+		t.Fatal("unknown literal must never match")
+	}
+}
+
+func TestBindBetweenAndIn(t *testing.T) {
+	s := testStar(t)
+	b, err := ParseBind(`SELECT COUNT(*) FROM f, da
+		WHERE fk_a = a_key AND a_num BETWEEN 5 AND 7 AND a_region IN ('ASIA', 'EUROPE')`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asia, _ := s.Dims[0].Dicts[1].Lookup("ASIA")
+	if !expr.EvalRow(b.DimPreds[0], []int64{1, asia, 6}) {
+		t.Fatal("in-range ASIA row must pass")
+	}
+	if expr.EvalRow(b.DimPreds[0], []int64{1, asia, 8}) {
+		t.Fatal("out-of-range row must fail")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	s := testStar(t)
+	cases := map[string]string{
+		"SELECT COUNT(*) FROM da":                                             "fact table",
+		"SELECT COUNT(*) FROM f, zz WHERE fk_a = a_key":                       "unknown table",
+		"SELECT COUNT(*) FROM f, da WHERE fk_a = a_num":                       "foreign key",
+		"SELECT COUNT(*) FROM f, da WHERE a_num = 3":                          "join predicate",
+		"SELECT COUNT(*) FROM f, da, db WHERE fk_a = a_key AND a_num = b_key": "not a star query",
+		"SELECT v FROM f":                                                "not in GROUP BY",
+		"SELECT nope(v) FROM f":                                          "",
+		"SELECT COUNT(*) FROM f WHERE zz = 1":                            "unknown column",
+		"SELECT COUNT(*) FROM f ORDER BY v":                              "ORDER BY",
+		"SELECT COUNT(*) FROM f, da WHERE fk_a = a_key AND xmin = b_key": "",
+	}
+	for src, want := range cases {
+		_, err := ParseBind(src, s)
+		if err == nil {
+			t.Errorf("ParseBind(%q) succeeded, want error", src)
+			continue
+		}
+		if want != "" && !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseBind(%q) error %q, want substring %q", src, err, want)
+		}
+	}
+}
+
+func TestBindAliases(t *testing.T) {
+	s := testStar(t)
+	b, err := ParseBind("SELECT SUM(t.v) AS total FROM f t, da d WHERE t.fk_a = d.a_key", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Aggs[0].Name != "total" {
+		t.Fatalf("alias %q", b.Aggs[0].Name)
+	}
+	if !b.DimRefs[0] {
+		t.Fatal("aliased join must mark dimension referenced")
+	}
+}
+
+func TestBindOrderByAggAlias(t *testing.T) {
+	s := testStar(t)
+	b, err := ParseBind(`SELECT SUM(v) AS total, a_num FROM f, da
+		WHERE fk_a = a_key GROUP BY a_num ORDER BY total DESC, a_num`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.OrderBy) != 2 {
+		t.Fatalf("order by %v", b.OrderBy)
+	}
+	if b.OrderBy[0].Col != 1 || !b.OrderBy[0].Desc {
+		t.Fatalf("agg alias order spec %v", b.OrderBy[0])
+	}
+	if b.OrderBy[1].Col != 0 || b.OrderBy[1].Desc {
+		t.Fatalf("group order spec %v", b.OrderBy[1])
+	}
+}
+
+func TestFactPredicateOnHiddenColumnRejected(t *testing.T) {
+	// Hidden system columns resolve internally (the snapshot machinery
+	// uses them) but user SQL referencing xmin against a dimension key is
+	// caught by join validation; a plain xmin predicate binds — verify it
+	// at least evaluates against the right index rather than colliding
+	// with visible columns.
+	s := testStar(t)
+	b, err := ParseBind("SELECT COUNT(*) FROM f WHERE xmin = 0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.EvalRow(b.FactPred, []int64{0, 0, 9, 9, 9}) {
+		t.Fatal("xmin=0 row must pass")
+	}
+	if expr.EvalRow(b.FactPred, []int64{1, 0, 9, 9, 9}) {
+		t.Fatal("xmin=1 row must fail")
+	}
+}

@@ -1,0 +1,123 @@
+// Package sql provides a lexer and recursive-descent parser for the SQL
+// star-query subset of §2.1:
+//
+//	SELECT A, Aggr_1, ..., Aggr_k
+//	FROM F, D_1, ..., D_n
+//	WHERE <join predicates> AND <selection predicates>
+//	GROUP BY B
+//	[ORDER BY ...]
+//
+// The parser produces an unbound AST; internal/query binds it against a
+// star schema into executable form.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   Expr // nil if absent
+	GroupBy []Expr
+	OrderBy []OrderItem
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table in the FROM clause with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is an unbound expression node.
+type Expr interface {
+	String() string
+}
+
+// Ident is a possibly qualified column reference (tab.col or col).
+type Ident struct {
+	Qualifier string
+	Name      string
+}
+
+func (i Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// NumLit is an integer literal.
+type NumLit struct{ V int64 }
+
+func (n NumLit) String() string { return fmt.Sprintf("%d", n.V) }
+
+// StrLit is a single-quoted string literal.
+type StrLit struct{ S string }
+
+func (s StrLit) String() string { return fmt.Sprintf("'%s'", s.S) }
+
+// BinExpr is a binary operator application. Op is the upper-case lexeme:
+// one of + - * / = <> < <= > >= AND OR.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (b BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ X Expr }
+
+func (n NotExpr) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// InExpr tests list membership.
+type InExpr struct {
+	X    Expr
+	List []Expr
+}
+
+func (in InExpr) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", in.X, strings.Join(parts, ", "))
+}
+
+// BetweenExpr is X BETWEEN Lo AND Hi, inclusive.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+}
+
+func (b BetweenExpr) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.X, b.Lo, b.Hi)
+}
+
+// CallExpr is an aggregate function call. Star marks COUNT(*).
+type CallExpr struct {
+	Func string
+	Arg  Expr // nil for COUNT(*)
+	Star bool
+}
+
+func (c CallExpr) String() string {
+	if c.Star {
+		return c.Func + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", c.Func, c.Arg)
+}

@@ -1,0 +1,148 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved word, upper-cased
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "ASC": true, "DESC": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "AS": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // upper-cased for keywords/symbols; verbatim otherwise
+	num  int64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	i   int
+}
+
+// lex tokenizes src, returning an error on malformed input.
+func lex(src string) ([]token, error) {
+	lx := lexer{src: src}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.i < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.i])) {
+		lx.i++
+	}
+	if lx.i >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.i}, nil
+	}
+	start := lx.i
+	c := lx.src[lx.i]
+	switch {
+	case isIdentStart(c):
+		for lx.i < len(lx.src) && isIdentPart(lx.src[lx.i]) {
+			lx.i++
+		}
+		word := lx.src[start:lx.i]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: strings.ToLower(word), pos: start}, nil
+	case c >= '0' && c <= '9':
+		for lx.i < len(lx.src) && lx.src[lx.i] >= '0' && lx.src[lx.i] <= '9' {
+			lx.i++
+		}
+		v, err := strconv.ParseInt(lx.src[start:lx.i], 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("sql: bad number at %d: %v", start, err)
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.i], num: v, pos: start}, nil
+	case c == '\'':
+		lx.i++
+		var b strings.Builder
+		for {
+			if lx.i >= len(lx.src) {
+				return token{}, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			if lx.src[lx.i] == '\'' {
+				// '' escapes a quote.
+				if lx.i+1 < len(lx.src) && lx.src[lx.i+1] == '\'' {
+					b.WriteByte('\'')
+					lx.i += 2
+					continue
+				}
+				lx.i++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(lx.src[lx.i])
+			lx.i++
+		}
+	case c == '<':
+		lx.i++
+		if lx.i < len(lx.src) && (lx.src[lx.i] == '=' || lx.src[lx.i] == '>') {
+			lx.i++
+		}
+		return token{kind: tokSymbol, text: lx.src[start:lx.i], pos: start}, nil
+	case c == '>':
+		lx.i++
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+		}
+		return token{kind: tokSymbol, text: lx.src[start:lx.i], pos: start}, nil
+	case c == '!':
+		lx.i++
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+			return token{kind: tokSymbol, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at %d", start)
+	case strings.ContainsRune("()*,=+-/.", rune(c)):
+		lx.i++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '#'
+}

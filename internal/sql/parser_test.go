@@ -1,0 +1,196 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseSSBShape(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT SUM(lo_revenue), d_year, p_brand1
+		FROM lineorder, date, part, supplier
+		WHERE lo_orderdate = d_datekey
+		  AND lo_partkey = p_partkey
+		  AND lo_suppkey = s_suppkey
+		  AND p_category = 'MFGR#12'
+		  AND s_region = 'AMERICA'
+		GROUP BY d_year, p_brand1
+		ORDER BY d_year, p_brand1`)
+	if len(stmt.Select) != 3 {
+		t.Fatalf("select items %d", len(stmt.Select))
+	}
+	call, ok := stmt.Select[0].Expr.(CallExpr)
+	if !ok || call.Func != "SUM" {
+		t.Fatalf("first item %v", stmt.Select[0].Expr)
+	}
+	if len(stmt.From) != 4 || stmt.From[0].Name != "lineorder" {
+		t.Fatalf("from %v", stmt.From)
+	}
+	if len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 2 {
+		t.Fatalf("groupby %d orderby %d", len(stmt.GroupBy), len(stmt.OrderBy))
+	}
+	// WHERE must be a left-deep AND chain of 5 conjuncts.
+	n := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(BinExpr); ok && b.Op == "AND" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		n++
+	}
+	walk(stmt.Where)
+	if n != 5 {
+		t.Fatalf("conjuncts %d", n)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a + b * c = 7 OR x = 1 AND y = 2")
+	or, ok := stmt.Where.(BinExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op %v", stmt.Where)
+	}
+	and, ok := or.R.(BinExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("AND must bind tighter than OR: %v", or.R)
+	}
+	eq := or.L.(BinExpr)
+	if eq.Op != "=" {
+		t.Fatalf("cmp %v", eq)
+	}
+	add := eq.L.(BinExpr)
+	if add.Op != "+" {
+		t.Fatalf("additive %v", add)
+	}
+	if mul := add.R.(BinExpr); mul.Op != "*" {
+		t.Fatalf("* must bind tighter than +: %v", add.R)
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE d_year BETWEEN 1992 AND 1997 AND region IN ('ASIA', 'EUROPE')")
+	and := stmt.Where.(BinExpr)
+	b, ok := and.L.(BetweenExpr)
+	if !ok {
+		t.Fatalf("between: %v", and.L)
+	}
+	if b.Lo.(NumLit).V != 1992 || b.Hi.(NumLit).V != 1997 {
+		t.Fatalf("between bounds %v %v", b.Lo, b.Hi)
+	}
+	in, ok := and.R.(InExpr)
+	if !ok || len(in.List) != 2 {
+		t.Fatalf("in: %v", and.R)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*), AVG(x), MIN(x), MAX(x), SUM(a - b) AS profit FROM t")
+	if !stmt.Select[0].Expr.(CallExpr).Star {
+		t.Fatal("COUNT(*) star flag")
+	}
+	if stmt.Select[4].Alias != "profit" {
+		t.Fatalf("alias %q", stmt.Select[4].Alias)
+	}
+	if arg := stmt.Select[4].Expr.(CallExpr).Arg.(BinExpr); arg.Op != "-" {
+		t.Fatalf("sum arg %v", arg)
+	}
+}
+
+func TestParseAliasesAndQualified(t *testing.T) {
+	stmt := mustParse(t, "SELECT f.v FROM fact f, dim AS d WHERE f.k = d.k")
+	if stmt.From[0].Alias != "f" || stmt.From[1].Alias != "d" {
+		t.Fatalf("aliases %v", stmt.From)
+	}
+	id := stmt.Select[0].Expr.(Ident)
+	if id.Qualifier != "f" || id.Name != "v" {
+		t.Fatalf("qualified ident %v", id)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE s = 'it''s'")
+	eq := stmt.Where.(BinExpr)
+	if eq.R.(StrLit).S != "it's" {
+		t.Fatalf("escape: %q", eq.R.(StrLit).S)
+	}
+}
+
+func TestParseUnaryMinusAndNot(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE NOT x = -5")
+	not, ok := stmt.Where.(NotExpr)
+	if !ok {
+		t.Fatalf("not: %v", stmt.Where)
+	}
+	eq := not.X.(BinExpr)
+	neg := eq.R.(BinExpr)
+	if neg.Op != "-" || neg.L.(NumLit).V != 0 || neg.R.(NumLit).V != 5 {
+		t.Fatalf("unary minus %v", neg)
+	}
+}
+
+func TestParseHashInIdent(t *testing.T) {
+	// SSB values like MFGR#12 appear in identifiers of generated data and
+	// string literals; '#' is a legal identifier character here.
+	stmt := mustParse(t, "SELECT a FROM t WHERE p_category = 'MFGR#12'")
+	if stmt.Where.(BinExpr).R.(StrLit).S != "MFGR#12" {
+		t.Fatal("hash literal")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t WHERE a = ",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE s = 'oops",
+		"SELECT a FROM t trailing nonsense !!!",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t WHERE x ! y",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	stmt := mustParse(t, "select Sum(X) from T where A = 1 group by B order by B desc")
+	if stmt.Select[0].Expr.(CallExpr).Func != "SUM" {
+		t.Fatal("case-insensitive function")
+	}
+	if !stmt.OrderBy[0].Desc {
+		t.Fatal("DESC not parsed")
+	}
+	// Identifiers are normalized to lower case.
+	if stmt.From[0].Name != "t" {
+		t.Fatalf("table name %q", stmt.From[0].Name)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	stmt := mustParse(t, "SELECT SUM(a) FROM t WHERE b BETWEEN 1 AND 2 AND c IN (3, 4)")
+	s := stmt.Where.(BinExpr).String()
+	for _, want := range []string{"BETWEEN", "IN"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package ssb
+
+import (
+	"math/rand"
+	"testing"
+
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+	"cjoin/internal/storage"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{SF: 1, FactRowsPerSF: 2000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	ds := smallDataset(t)
+	if got := ds.Lineorder.Heap.NumRows(); got != 2000 {
+		t.Fatalf("lineorder rows %d", got)
+	}
+	if got := ds.Date.Heap.NumRows(); got != dateDays {
+		t.Fatalf("date rows %d", got)
+	}
+	if ds.Customer.Heap.NumRows() != ds.NumCustomers || ds.NumCustomers != 300 {
+		t.Fatalf("customer rows %d", ds.Customer.Heap.NumRows())
+	}
+	if ds.Supplier.Heap.NumRows() != ds.NumSuppliers {
+		t.Fatal("supplier cardinality mismatch")
+	}
+	if ds.Part.Heap.NumRows() != ds.NumParts {
+		t.Fatal("part cardinality mismatch")
+	}
+}
+
+func TestLogScaleGrowth(t *testing.T) {
+	if logScale(1) != 1 || logScale(2) != 2 || logScale(4) != 3 || logScale(100) != 7 {
+		t.Fatalf("logScale: %d %d %d %d", logScale(1), logScale(2), logScale(4), logScale(100))
+	}
+	big, err := Generate(Config{SF: 4, FactRowsPerSF: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Lineorder.Heap.NumRows() != 400 {
+		t.Fatalf("fact rows %d", big.Lineorder.Heap.NumRows())
+	}
+	if big.NumCustomers != 900 {
+		t.Fatalf("customers at sf=4: %d", big.NumCustomers)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := smallDataset(t)
+	b := smallDataset(t)
+	for i := int64(0); i < 50; i++ {
+		ra, err := a.Lineorder.Heap.RowAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Lineorder.Heap.RowAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range ra {
+			if ra[c] != rb[c] {
+				t.Fatalf("row %d col %d differs: %d vs %d", i, c, ra[c], rb[c])
+			}
+		}
+	}
+}
+
+func TestForeignKeyIntegrity(t *testing.T) {
+	ds := smallDataset(t)
+	s := storage.NewScanner(ds.Lineorder.Heap)
+	n := 0
+	for row, ok := s.Next(); ok; row, ok = s.Next() {
+		if row[LoCustkey] < 1 || row[LoCustkey] > ds.NumCustomers {
+			t.Fatalf("custkey %d out of range", row[LoCustkey])
+		}
+		if row[LoSuppkey] < 1 || row[LoSuppkey] > ds.NumSuppliers {
+			t.Fatalf("suppkey %d out of range", row[LoSuppkey])
+		}
+		if row[LoPartkey] < 1 || row[LoPartkey] > ds.NumParts {
+			t.Fatalf("partkey %d out of range", row[LoPartkey])
+		}
+		if row[LoXmin] != 0 || row[LoXmax] != 0 {
+			t.Fatalf("mvcc columns not zero: %d %d", row[LoXmin], row[LoXmax])
+		}
+		// Revenue derivation must hold.
+		want := row[LoExtendedprice] * (100 - row[LoDiscount]) / 100
+		if row[LoRevenue] != want {
+			t.Fatalf("revenue %d, want %d", row[LoRevenue], want)
+		}
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestDateDimension(t *testing.T) {
+	ds := smallDataset(t)
+	first, err := ds.Date.Heap.RowAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != 19920101 {
+		t.Fatalf("first datekey %d", first[0])
+	}
+	last, err := ds.Date.Heap.RowAt(dateDays - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last[0] != 19981231 {
+		t.Fatalf("last datekey %d", last[0])
+	}
+	yearCol := ds.Date.ColIndex("d_year")
+	if first[yearCol] != 1992 || last[yearCol] != 1998 {
+		t.Fatal("d_year wrong")
+	}
+}
+
+func TestDictOrderPreserved(t *testing.T) {
+	ds := smallDataset(t)
+	// Brand ids must be ordered like brand strings so BETWEEN works.
+	d := ds.Part.Dicts[ds.Part.ColIndex("p_brand1")]
+	a, _ := d.Lookup("MFGR#1101")
+	b, _ := d.Lookup("MFGR#1102")
+	c, _ := d.Lookup("MFGR#5540")
+	if !(a < b && b < c) {
+		t.Fatalf("brand dictionary not order-preserving: %d %d %d", a, b, c)
+	}
+}
+
+func TestTemplatesBindAndParse(t *testing.T) {
+	ds := smallDataset(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, tpl := range Templates() {
+		sqlText := ds.Instantiate(tpl, 0.05, rng)
+		b, err := query.ParseBind(sqlText, ds.Star)
+		if err != nil {
+			t.Fatalf("%s: %v\nSQL: %s", tpl.ID, err, sqlText)
+		}
+		if len(b.GroupBy) != len(tpl.GroupBy) {
+			t.Fatalf("%s: group count", tpl.ID)
+		}
+		nref := 0
+		for _, r := range b.DimRefs {
+			if r {
+				nref++
+			}
+		}
+		if nref != len(tpl.Dims) {
+			t.Fatalf("%s: referenced %d dims, want %d", tpl.ID, nref, len(tpl.Dims))
+		}
+	}
+}
+
+func TestSelectivityKnob(t *testing.T) {
+	ds := smallDataset(t)
+	rng := rand.New(rand.NewSource(9))
+	for _, s := range []float64{0.01, 0.1} {
+		tpl, _ := TemplateByID("Q3.1")
+		sqlText := ds.Instantiate(tpl, s, rng)
+		b, err := query.ParseBind(sqlText, ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count customers passing the predicate; must be ~s of the table.
+		ci := ds.Star.DimIndex("customer")
+		pred := b.DimPreds[ci]
+		sc := storage.NewScanner(ds.Customer.Heap)
+		pass := 0
+		for row, ok := sc.Next(); ok; row, ok = sc.Next() {
+			if expr.EvalRow(pred, row) {
+				pass++
+			}
+		}
+		want := int(float64(ds.NumCustomers)*s + 0.5)
+		if pass != want {
+			t.Fatalf("s=%g: %d customers pass, want %d", s, pass, want)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	ds := smallDataset(t)
+	w1 := NewWorkload(ds, 0.01, 5)
+	w2 := NewWorkload(ds, 0.01, 5)
+	for i := 0; i < 20; i++ {
+		id1, q1 := w1.Next()
+		id2, q2 := w2.Next()
+		if id1 != id2 || q1 != q2 {
+			t.Fatalf("workload diverged at %d", i)
+		}
+	}
+	if _, err := w1.FromTemplate("Q4.2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.FromTemplate("Q9.9"); err == nil {
+		t.Fatal("unknown template must error")
+	}
+}
+
+func TestPartitionedGeneration(t *testing.T) {
+	ds, err := Generate(Config{SF: 1, FactRowsPerSF: 3000, Seed: 7, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := ds.Star.Partitions()
+	if len(parts) != 4 {
+		t.Fatalf("partitions %d", len(parts))
+	}
+	var total int64
+	for i, p := range parts {
+		total += p.Heap.NumRows()
+		// Every row's orderdate must be within the partition bounds.
+		sc := storage.NewScanner(p.Heap)
+		for row, ok := sc.Next(); ok; row, ok = sc.Next() {
+			if row[LoOrderdate] < p.MinKey || row[LoOrderdate] > p.MaxKey {
+				t.Fatalf("partition %d: orderdate %d outside [%d,%d]", i, row[LoOrderdate], p.MinKey, p.MaxKey)
+			}
+		}
+	}
+	if total != 3000 {
+		t.Fatalf("partitioned rows %d", total)
+	}
+	if ds.Star.PartCol != LoOrderdate {
+		t.Fatalf("PartCol %d", ds.Star.PartCol)
+	}
+}

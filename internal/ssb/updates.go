@@ -1,0 +1,73 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cjoin/internal/txn"
+)
+
+// AppendFact appends n new fact rows in a single snapshot-isolated commit
+// (§3.5: updates reference only the fact table) and returns the snapshot
+// at which they become visible. Partitioned datasets are static and
+// reject appends.
+func (ds *Dataset) AppendFact(n int, rng *rand.Rand) (txn.Snapshot, error) {
+	if ds.Star.PartCol >= 0 {
+		return 0, fmt.Errorf("ssb: partitioned datasets are static")
+	}
+	snap := ds.Txn.Commit(func(id uint64) {
+		for i := 0; i < n; i++ {
+			row := ds.randFactRow(rng)
+			row[LoXmin] = int64(id)
+			ds.Lineorder.Heap.Append(row)
+		}
+	})
+	return snap, nil
+}
+
+// DeleteFact marks the fact row at index idx deleted in a new commit and
+// returns the snapshot at which the deletion is visible.
+func (ds *Dataset) DeleteFact(idx int64) (txn.Snapshot, error) {
+	if ds.Star.PartCol >= 0 {
+		return 0, fmt.Errorf("ssb: partitioned datasets are static")
+	}
+	var err error
+	snap := ds.Txn.Commit(func(id uint64) {
+		err = ds.Lineorder.Heap.UpdateCol(idx, LoXmax, int64(id))
+	})
+	if err != nil {
+		return 0, err
+	}
+	return snap, nil
+}
+
+// randFactRow builds one fact row with xmin/xmax zeroed; callers stamp
+// the MVCC columns.
+func (ds *Dataset) randFactRow(rng *rand.Rand) []int64 {
+	t := ds.Lineorder
+	prio, _ := t.EncodeStr(LoOrderpriority, priorities[rng.Intn(len(priorities))])
+	ship, _ := t.EncodeStr(LoShipmode, shipmodes[rng.Intn(len(shipmodes))])
+	quantity := int64(rng.Intn(50) + 1)
+	price := int64(rng.Intn(9900) + 100)
+	discount := int64(rng.Intn(11))
+	return []int64{
+		0, 0,
+		rng.Int63n(1 << 30),
+		rng.Int63n(7),
+		rng.Int63n(ds.NumCustomers) + 1,
+		rng.Int63n(ds.NumParts) + 1,
+		rng.Int63n(ds.NumSuppliers) + 1,
+		ds.DateKeys[rng.Intn(len(ds.DateKeys))],
+		prio,
+		int64(rng.Intn(2)),
+		quantity,
+		price,
+		price * quantity,
+		discount,
+		price * (100 - discount) / 100,
+		price * 6 / 10,
+		int64(rng.Intn(9)),
+		ds.DateKeys[rng.Intn(len(ds.DateKeys))],
+		ship,
+	}
+}

@@ -1,0 +1,181 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Template is one SSB query template with abstract range predicates, per
+// §6.1.2: "we first convert each benchmark query to a template, by
+// substituting each range predicate in the query with an abstract range
+// predicate". Q1.1–Q1.3 are excluded exactly as in the paper because they
+// are the only queries with fact-table selection predicates and no
+// GROUP BY.
+type Template struct {
+	ID string
+	// Dims lists the referenced dimension tables.
+	Dims []string
+	// Aggs is the SQL aggregate select list.
+	Aggs string
+	// GroupBy lists grouping columns (also appended to the select list).
+	GroupBy []string
+}
+
+// Templates returns the paper's ten workload templates (SSB Q2.1–Q4.3).
+func Templates() []Template {
+	q2 := Template{
+		Dims:    []string{"date", "part", "supplier"},
+		Aggs:    "SUM(lo_revenue)",
+		GroupBy: []string{"d_year", "p_brand1"},
+	}
+	q3nation := Template{
+		Dims:    []string{"customer", "supplier", "date"},
+		Aggs:    "SUM(lo_revenue)",
+		GroupBy: []string{"c_nation", "s_nation", "d_year"},
+	}
+	q3city := Template{
+		Dims:    []string{"customer", "supplier", "date"},
+		Aggs:    "SUM(lo_revenue)",
+		GroupBy: []string{"c_city", "s_city", "d_year"},
+	}
+	q4 := func(group ...string) Template {
+		return Template{
+			Dims:    []string{"date", "customer", "supplier", "part"},
+			Aggs:    "SUM(lo_revenue - lo_supplycost) AS profit",
+			GroupBy: group,
+		}
+	}
+	ts := []Template{
+		withID(q2, "Q2.1"), withID(q2, "Q2.2"), withID(q2, "Q2.3"),
+		withID(q3nation, "Q3.1"), withID(q3city, "Q3.2"), withID(q3city, "Q3.3"), withID(q3city, "Q3.4"),
+		withID(q4("d_year", "c_nation"), "Q4.1"),
+		withID(q4("d_year", "s_nation", "p_category"), "Q4.2"),
+		withID(q4("d_year", "s_city", "p_brand1"), "Q4.3"),
+	}
+	return ts
+}
+
+func withID(t Template, id string) Template {
+	t.ID = id
+	return t
+}
+
+// TemplateByID returns the named template.
+func TemplateByID(id string) (Template, bool) {
+	for _, t := range Templates() {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Template{}, false
+}
+
+var joinPred = map[string]string{
+	"date":     "lo_orderdate = d_datekey",
+	"customer": "lo_custkey = c_custkey",
+	"supplier": "lo_suppkey = s_suppkey",
+	"part":     "lo_partkey = p_partkey",
+}
+
+// Instantiate renders the template as SQL, replacing each abstract range
+// with a concrete key-range predicate of selectivity s on every referenced
+// dimension (the knob of §6.1.2: "s allows us to control the number of
+// dimension tuples that are loaded by CJOIN per query").
+func (ds *Dataset) Instantiate(t Template, s float64, rng *rand.Rand) string {
+	var conds []string
+	for _, d := range t.Dims {
+		conds = append(conds, joinPred[d])
+	}
+	for _, d := range t.Dims {
+		conds = append(conds, ds.rangePred(d, s, rng))
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(t.Aggs)
+	for _, g := range t.GroupBy {
+		sb.WriteString(", ")
+		sb.WriteString(g)
+	}
+	sb.WriteString(" FROM lineorder")
+	for _, d := range t.Dims {
+		sb.WriteString(", ")
+		sb.WriteString(d)
+	}
+	sb.WriteString(" WHERE ")
+	sb.WriteString(strings.Join(conds, " AND "))
+	if len(t.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(t.GroupBy, ", "))
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(strings.Join(t.GroupBy, ", "))
+	}
+	return sb.String()
+}
+
+// rangePred builds a contiguous key-range predicate selecting a fraction s
+// of the dimension's rows, at a random offset.
+func (ds *Dataset) rangePred(dim string, s float64, rng *rand.Rand) string {
+	switch dim {
+	case "date":
+		n := len(ds.DateKeys)
+		k := width(n, s)
+		lo := rng.Intn(n - k + 1)
+		return fmt.Sprintf("d_datekey BETWEEN %d AND %d", ds.DateKeys[lo], ds.DateKeys[lo+k-1])
+	case "customer":
+		return keyRange("c_custkey", ds.NumCustomers, s, rng)
+	case "supplier":
+		return keyRange("s_suppkey", ds.NumSuppliers, s, rng)
+	case "part":
+		return keyRange("p_partkey", ds.NumParts, s, rng)
+	}
+	panic("ssb: unknown dimension " + dim)
+}
+
+func keyRange(col string, n int64, s float64, rng *rand.Rand) string {
+	k := int64(width(int(n), s))
+	lo := rng.Int63n(n-k+1) + 1
+	return fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+k-1)
+}
+
+// width converts selectivity s over n rows to a range width of at least 1.
+func width(n int, s float64) int {
+	k := int(float64(n)*s + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Workload generates a deterministic stream of SQL query texts by sampling
+// templates uniformly, as the paper's workload generator does.
+type Workload struct {
+	ds        *Dataset
+	templates []Template
+	s         float64
+	rng       *rand.Rand
+}
+
+// NewWorkload returns a workload with predicate selectivity s and a
+// deterministic seed.
+func NewWorkload(ds *Dataset, s float64, seed int64) *Workload {
+	return &Workload{ds: ds, templates: Templates(), s: s, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next query's template id and SQL text.
+func (w *Workload) Next() (string, string) {
+	t := w.templates[w.rng.Intn(len(w.templates))]
+	return t.ID, w.ds.Instantiate(t, w.s, w.rng)
+}
+
+// FromTemplate returns the SQL text of one instantiation of template id.
+func (w *Workload) FromTemplate(id string) (string, error) {
+	t, ok := TemplateByID(id)
+	if !ok {
+		return "", fmt.Errorf("ssb: unknown template %q", id)
+	}
+	return w.ds.Instantiate(t, w.s, w.rng), nil
+}

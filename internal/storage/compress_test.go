@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cjoin/internal/disk"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	const ncols, n = 3, 100
+	src := make([]int64, n*ncols)
+	for i := 0; i < n; i++ {
+		src[i*ncols+0] = int64(i / 10) // runs of 10
+		src[i*ncols+1] = 7             // one long run
+		src[i*ncols+2] = int64(i)      // no runs
+	}
+	enc := encodeRLE(src, n, ncols, nil)
+	dst := make([]int64, n*ncols)
+	if err := decodeRLE(enc, n, ncols, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("value %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+}
+
+// Property: RLE decode(encode(x)) == x for random pages.
+func TestRLERoundTripQuick(t *testing.T) {
+	f := func(data []int16, ncols8 uint8) bool {
+		ncols := int(ncols8)%4 + 1
+		n := len(data) / ncols
+		if n == 0 {
+			return true
+		}
+		src := make([]int64, n*ncols)
+		for i := range src {
+			src[i] = int64(data[i] % 9) // small domain → runs
+		}
+		enc := encodeRLE(src, n, ncols, nil)
+		dst := make([]int64, n*ncols)
+		if err := decodeRLE(enc, n, ncols, dst); err != nil {
+			return false
+		}
+		for i := range src {
+			if src[i] != dst[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRLECorruptInput(t *testing.T) {
+	if err := decodeRLE([]byte{1, 2, 3}, 5, 1, make([]int64, 5)); err == nil {
+		t.Fatal("truncated input must error")
+	}
+	// Run overshooting the row count.
+	enc := encodeRLE([]int64{1, 1, 1}, 3, 1, nil)
+	if err := decodeRLE(enc, 2, 1, make([]int64, 2)); err == nil {
+		t.Fatal("overlong run must error")
+	}
+}
+
+func TestCompressedHeapRoundTrip(t *testing.T) {
+	h := CreateHeapCodec(disk.NewMem(), 4, RLE)
+	const n = 5000
+	for i := int64(0); i < n; i++ {
+		// Warehouse-shaped data: constant, low-cardinality, and unique
+		// columns mixed.
+		h.Append([]int64{0, i % 7, i / 100, i})
+	}
+	s := NewScanner(h)
+	var i int64
+	for row, ok := s.Next(); ok; row, ok = s.Next() {
+		if row[0] != 0 || row[1] != i%7 || row[2] != i/100 || row[3] != i {
+			t.Fatalf("row %d = %v", i, row)
+		}
+		i++
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if i != n {
+		t.Fatalf("scanned %d rows", i)
+	}
+}
+
+func TestCompressedHeapShrinks(t *testing.T) {
+	rawHeap := CreateHeap(disk.NewMem(), 4)
+	rleHeap := CreateHeapCodec(disk.NewMem(), 4, RLE)
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		// Constant and clustered columns, the shapes RLE pays off on
+		// (MVCC columns, dates, dictionary-encoded categories).
+		row := []int64{0, 0, i / 100, i / 1000}
+		rawHeap.Append(row)
+		rleHeap.Append(row)
+	}
+	rawBytes, rleBytes := rawHeap.FlushedBytes(), rleHeap.FlushedBytes()
+	if rleBytes*3 > rawBytes {
+		t.Fatalf("RLE did not compress: raw=%d rle=%d", rawBytes, rleBytes)
+	}
+}
+
+func TestIncompressiblePageStoredRaw(t *testing.T) {
+	h := CreateHeapCodec(disk.NewMem(), 2, RLE)
+	rng := rand.New(rand.NewSource(9))
+	const n = 3000
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{rng.Int63(), rng.Int63()}
+		h.Append(rows[i])
+	}
+	// Random data must round-trip through the raw fallback.
+	s := NewScanner(h)
+	i := 0
+	for row, ok := s.Next(); ok; row, ok = s.Next() {
+		if row[0] != rows[i][0] || row[1] != rows[i][1] {
+			t.Fatalf("row %d mismatch", i)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scanned %d", i)
+	}
+}
+
+func TestCompressedHeapRejectsUpdate(t *testing.T) {
+	h := CreateHeapCodec(disk.NewMem(), 1, RLE)
+	for i := int64(0); i < 3000; i++ {
+		h.Append([]int64{1})
+	}
+	if err := h.UpdateCol(0, 0, 9); err == nil {
+		t.Fatal("update of a flushed compressed page must error")
+	}
+	// Tail rows stay updatable.
+	last := h.NumRows() - 1
+	if err := h.UpdateCol(last, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	row, err := h.RowAt(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 9 {
+		t.Fatalf("tail update lost: %v", row)
+	}
+}
+
+func TestCompressedHeapExtentUnsupported(t *testing.T) {
+	h := CreateHeapCodec(disk.NewMem(), 1, RLE)
+	for i := int64(0); i < 3000; i++ {
+		h.Append([]int64{1})
+	}
+	if _, err := h.ReadExtent(0, 4, make([]byte, 4*PageSize)); err == nil {
+		t.Fatal("extent reads on compressed heaps must error (callers fall back)")
+	}
+}

@@ -1,0 +1,314 @@
+// Package storage implements a row-store storage engine: fixed-width
+// pages of int64 columns stored in heap files on a (simulated) disk
+// device, plus sequential scanners.
+//
+// This is the substrate under both the conventional query-at-a-time engine
+// and the CJOIN continuous scan. All column values are int64: string
+// columns are dictionary-encoded by the catalog, a standard warehouse
+// practice that the paper's compressed-tables extension (§5) also leans on.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"cjoin/internal/disk"
+)
+
+// PageSize is the on-disk page size in bytes.
+const PageSize = 8192
+
+// pageHeader is the per-page byte overhead: a uint32 row count.
+const pageHeader = 4
+
+// HeapFile stores fixed-width rows of ncols int64 values in PageSize
+// pages on a device. Rows are append-only; pages other than the in-memory
+// tail are always full. It is safe for concurrent appends and reads.
+type HeapFile struct {
+	dev         *disk.Device
+	ncols       int
+	width       int // bytes per row
+	rowsPerPage int
+	codec       Codec
+
+	mu         sync.RWMutex
+	pageOffs   []int64 // device offset of each flushed (full) page
+	pageLens   []int32 // encoded length per flushed page (codec != Raw)
+	flushedLen int64   // total bytes written for flushed pages
+	tail       []byte  // partially filled page, not yet on the device
+	tailRows   int
+	nrows      int64
+}
+
+// CreateHeap creates an empty raw heap for rows of ncols columns on dev.
+func CreateHeap(dev *disk.Device, ncols int) *HeapFile {
+	return CreateHeapCodec(dev, ncols, Raw)
+}
+
+// CreateHeapCodec creates an empty heap using the given page codec.
+// Compressed heaps (§5 "Compressed Tables") are append-only: in-place
+// updates of flushed pages are rejected.
+func CreateHeapCodec(dev *disk.Device, ncols int, codec Codec) *HeapFile {
+	if ncols <= 0 {
+		panic("storage: heap needs at least one column")
+	}
+	width := 8 * ncols
+	headroom := pageHeader
+	if codec != Raw {
+		// Leave room so a stored-raw fallback page (5-byte header) never
+		// exceeds PageSize, keeping every caller's scratch buffer valid.
+		headroom = 16
+	}
+	rpp := (PageSize - headroom) / width
+	if rpp < 1 {
+		panic(fmt.Sprintf("storage: row width %d exceeds page capacity", width))
+	}
+	return &HeapFile{
+		dev:         dev,
+		ncols:       ncols,
+		width:       width,
+		rowsPerPage: rpp,
+		codec:       codec,
+		tail:        make([]byte, PageSize),
+	}
+}
+
+// Codec returns the heap's page codec.
+func (h *HeapFile) Codec() Codec { return h.codec }
+
+// FlushedBytes returns the total device bytes occupied by flushed pages —
+// for a compressed heap, the post-compression footprint the continuous
+// scan actually transfers.
+func (h *HeapFile) FlushedBytes() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.flushedLen
+}
+
+// NumCols returns the number of columns per row.
+func (h *HeapFile) NumCols() int { return h.ncols }
+
+// RowsPerPage returns the row capacity of a full page.
+func (h *HeapFile) RowsPerPage() int { return h.rowsPerPage }
+
+// NumRows returns the current number of rows.
+func (h *HeapFile) NumRows() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nrows
+}
+
+// FlushedPages returns the number of full pages on the device. Pages at
+// or beyond this index (the in-memory tail) are still mutable and must not
+// be cached by buffer pools.
+func (h *HeapFile) FlushedPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pageOffs)
+}
+
+// NumPages returns the number of pages, counting a non-empty tail.
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.numPagesLocked()
+}
+
+func (h *HeapFile) numPagesLocked() int {
+	n := len(h.pageOffs)
+	if h.tailRows > 0 {
+		n++
+	}
+	return n
+}
+
+// Append adds one row. It panics if the row has the wrong arity; that is
+// a programming error, not an environmental failure.
+func (h *HeapFile) Append(row []int64) {
+	if len(row) != h.ncols {
+		panic(fmt.Sprintf("storage: Append arity %d, heap has %d columns", len(row), h.ncols))
+	}
+	h.mu.Lock()
+	h.appendLocked(row)
+	h.mu.Unlock()
+}
+
+// AppendBatch adds rows in order.
+func (h *HeapFile) AppendBatch(rows [][]int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, row := range rows {
+		if len(row) != h.ncols {
+			panic(fmt.Sprintf("storage: AppendBatch arity %d, heap has %d columns", len(row), h.ncols))
+		}
+		h.appendLocked(row)
+	}
+}
+
+func (h *HeapFile) appendLocked(row []int64) {
+	base := pageHeader + h.tailRows*h.width
+	for c, v := range row {
+		binary.LittleEndian.PutUint64(h.tail[base+8*c:], uint64(v))
+	}
+	h.tailRows++
+	h.nrows++
+	binary.LittleEndian.PutUint32(h.tail, uint32(h.tailRows))
+	if h.tailRows == h.rowsPerPage {
+		if h.codec == Raw {
+			off := h.dev.Append(h.tail)
+			h.pageOffs = append(h.pageOffs, off)
+			h.flushedLen += PageSize
+		} else {
+			vals := make([]int64, h.tailRows*h.ncols)
+			DecodeRows(h.tail[pageHeader:], vals)
+			enc := encodePage(h.codec, h.tail, vals, h.tailRows, h.ncols)
+			off := h.dev.Append(enc)
+			h.pageOffs = append(h.pageOffs, off)
+			h.pageLens = append(h.pageLens, int32(len(enc)))
+			h.flushedLen += int64(len(enc))
+		}
+		h.tail = make([]byte, PageSize)
+		h.tailRows = 0
+	}
+}
+
+// UpdateCol overwrites column col of the row at global index idx. It is
+// used by the snapshot manager to set xmax on deleted fact tuples.
+func (h *HeapFile) UpdateCol(idx int64, col int, v int64) error {
+	if col < 0 || col >= h.ncols {
+		return fmt.Errorf("storage: UpdateCol column %d out of range", col)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx < 0 || idx >= h.nrows {
+		return fmt.Errorf("storage: UpdateCol row %d out of range (nrows %d)", idx, h.nrows)
+	}
+	page := int(idx) / h.rowsPerPage
+	slot := int(idx) % h.rowsPerPage
+	if page < len(h.pageOffs) {
+		if h.codec != Raw {
+			return fmt.Errorf("storage: UpdateCol on a flushed page of a compressed heap (append-only)")
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		off := h.pageOffs[page] + int64(pageHeader+slot*h.width+8*col)
+		return h.dev.WriteAt(buf[:], off)
+	}
+	binary.LittleEndian.PutUint64(h.tail[pageHeader+slot*h.width+8*col:], uint64(v))
+	return nil
+}
+
+// ReadPage fills dst with the decoded rows of the given page and returns
+// the number of rows. dst must have capacity for RowsPerPage()*NumCols()
+// values; scratch must be at least PageSize bytes and is reused across
+// calls to avoid allocation. Reading the tail page copies from memory and
+// performs no device I/O.
+func (h *HeapFile) ReadPage(page int, dst []int64, scratch []byte) (int, error) {
+	h.mu.RLock()
+	flushed := len(h.pageOffs)
+	var off int64 = -1
+	var encLen int
+	var n int
+	if page < flushed {
+		off = h.pageOffs[page]
+		if h.codec != Raw {
+			encLen = int(h.pageLens[page])
+		}
+		n = h.rowsPerPage
+	} else if page == flushed && h.tailRows > 0 {
+		n = h.tailRows
+		copy(scratch, h.tail[:pageHeader+n*h.width])
+	} else {
+		h.mu.RUnlock()
+		return 0, fmt.Errorf("storage: page %d out of range (%d pages)", page, h.numPagesLocked())
+	}
+	h.mu.RUnlock()
+
+	switch {
+	case off >= 0 && h.codec != Raw:
+		// On-the-fly decompression of the transferred bytes (§5).
+		if err := h.dev.ReadAt(scratch[:encLen], off); err != nil {
+			return 0, err
+		}
+		return decodePage(scratch[:encLen], h.ncols, h.rowsPerPage, dst)
+	case off >= 0:
+		if err := h.dev.ReadAt(scratch[:PageSize], off); err != nil {
+			return 0, err
+		}
+		n = int(binary.LittleEndian.Uint32(scratch))
+		if n > h.rowsPerPage {
+			return 0, fmt.Errorf("storage: corrupt page %d: %d rows", page, n)
+		}
+	}
+	DecodeRows(scratch[pageHeader:], dst[:n*h.ncols])
+	return n, nil
+}
+
+// ReadExtent reads up to count flushed pages starting at page into buf
+// (which needs count*PageSize bytes) using a single device request, the
+// way a scan with OS read-ahead would. It stops early at the first
+// non-contiguous page and returns how many pages were read.
+func (h *HeapFile) ReadExtent(page, count int, buf []byte) (int, error) {
+	if h.codec != Raw {
+		// Variable-length encoded pages are read one at a time; callers
+		// fall back to ReadPage.
+		return 0, fmt.Errorf("storage: ReadExtent unsupported on compressed heaps")
+	}
+	h.mu.RLock()
+	flushed := len(h.pageOffs)
+	if page < 0 || page >= flushed {
+		h.mu.RUnlock()
+		return 0, fmt.Errorf("storage: extent start %d outside flushed pages (%d)", page, flushed)
+	}
+	k := 1
+	for k < count && page+k < flushed && h.pageOffs[page+k] == h.pageOffs[page]+int64(k)*PageSize {
+		k++
+	}
+	off := h.pageOffs[page]
+	h.mu.RUnlock()
+	if err := h.dev.ReadAt(buf[:k*PageSize], off); err != nil {
+		return 0, err
+	}
+	return k, nil
+}
+
+// RowAt returns a copy of the row at global index idx (page-major order).
+// It is intended for tests and point lookups on small tables.
+func (h *HeapFile) RowAt(idx int64) ([]int64, error) {
+	if idx < 0 || idx >= h.NumRows() {
+		return nil, fmt.Errorf("storage: row %d out of range", idx)
+	}
+	page := int(idx) / h.rowsPerPage
+	slot := int(idx) % h.rowsPerPage
+	dst := make([]int64, h.rowsPerPage*h.ncols)
+	scratch := make([]byte, PageSize)
+	n, err := h.ReadPage(page, dst, scratch)
+	if err != nil {
+		return nil, err
+	}
+	if slot >= n {
+		return nil, fmt.Errorf("storage: slot %d past page end %d", slot, n)
+	}
+	row := make([]int64, h.ncols)
+	copy(row, dst[slot*h.ncols:(slot+1)*h.ncols])
+	return row, nil
+}
+
+// PageOffset returns the device offset of a flushed page, or -1 for the
+// in-memory tail. Exposed so scanners can coalesce contiguous reads.
+func (h *HeapFile) PageOffset(page int) int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if page < len(h.pageOffs) {
+		return h.pageOffs[page]
+	}
+	return -1
+}
+
+// DecodeRows decodes little-endian int64s from src into dst.
+func DecodeRows(src []byte, dst []int64) {
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}

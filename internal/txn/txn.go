@@ -1,0 +1,44 @@
+// Package txn provides the snapshot-isolation bookkeeping assumed in
+// §2.1 and exercised by §3.5: every transaction is tagged with a snapshot
+// identifier, fact tuples carry xmin/xmax system columns, and a tuple is
+// visible to a snapshot if it was committed at or before the snapshot and
+// not deleted by it.
+package txn
+
+import "sync"
+
+// Snapshot identifies a committed database state. Snapshot s sees every
+// commit with id <= s.
+type Snapshot uint64
+
+// Manager issues snapshots and serializes commits. The zero value is
+// ready to use with an initial committed state of 0.
+type Manager struct {
+	mu  sync.Mutex
+	cur uint64
+}
+
+// Begin returns a snapshot of the current committed state.
+func (m *Manager) Begin() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot(m.cur)
+}
+
+// Commit runs apply with a fresh commit id and publishes it. The commit id
+// becomes visible to snapshots taken after apply returns. apply must stamp
+// xmin (and xmax for deletions) with the given id.
+func (m *Manager) Commit(apply func(commitID uint64)) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.cur + 1
+	apply(id)
+	m.cur = id
+	return Snapshot(id)
+}
+
+// Visible reports whether a tuple with the given xmin/xmax system column
+// values is visible to snapshot s. xmax == 0 means "not deleted".
+func Visible(xmin, xmax int64, s Snapshot) bool {
+	return uint64(xmin) <= uint64(s) && (xmax == 0 || uint64(xmax) > uint64(s))
+}

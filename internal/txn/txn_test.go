@@ -1,0 +1,89 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVisibility(t *testing.T) {
+	cases := []struct {
+		xmin, xmax int64
+		snap       Snapshot
+		want       bool
+	}{
+		{0, 0, 0, true},  // loaded at time 0, never deleted
+		{1, 0, 0, false}, // committed after snapshot
+		{1, 0, 1, true},  // committed at snapshot
+		{1, 3, 2, true},  // deleted later
+		{1, 3, 3, false}, // deleted at commit 3: snapshot 3 no longer sees it
+		{1, 3, 4, false}, // deleted before snapshot
+		{5, 0, 99, true}, // old insert
+		{5, 5, 4, false}, // insert+delete in same commit, earlier snapshot
+		{5, 5, 5, false}, // insert+delete in same commit
+	}
+	for _, c := range cases {
+		if got := Visible(c.xmin, c.xmax, c.snap); got != c.want {
+			t.Errorf("Visible(%d,%d,%d) = %v, want %v", c.xmin, c.xmax, c.snap, got, c.want)
+		}
+	}
+}
+
+func TestCommitAdvancesSnapshot(t *testing.T) {
+	var m Manager
+	if m.Begin() != 0 {
+		t.Fatal("initial snapshot must be 0")
+	}
+	var stamped uint64
+	s := m.Commit(func(id uint64) { stamped = id })
+	if stamped != 1 || s != 1 {
+		t.Fatalf("first commit id %d snapshot %d", stamped, s)
+	}
+	if m.Begin() != 1 {
+		t.Fatal("Begin must observe the commit")
+	}
+}
+
+func TestCommitSerialization(t *testing.T) {
+	var m Manager
+	const n = 100
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Commit(func(id uint64) {
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate commit id %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	if m.Begin() != n {
+		t.Fatalf("final snapshot %d, want %d", m.Begin(), n)
+	}
+	for id := uint64(1); id <= n; id++ {
+		if !seen[id] {
+			t.Fatalf("commit id %d skipped", id)
+		}
+	}
+}
+
+func TestSnapshotStability(t *testing.T) {
+	// A reader's snapshot must not see rows committed after Begin.
+	var m Manager
+	m.Commit(func(uint64) {}) // commit 1
+	reader := m.Begin()
+	m.Commit(func(uint64) {}) // commit 2
+	if Visible(2, 0, reader) {
+		t.Fatal("snapshot must not see later commit")
+	}
+	if !Visible(1, 0, reader) {
+		t.Fatal("snapshot must see earlier commit")
+	}
+}

@@ -1,0 +1,222 @@
+package cjoin
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/core"
+	"cjoin/internal/engine"
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+)
+
+// Query registers a SQL star query with the pipeline at the current
+// snapshot and returns immediately; results arrive after one full cycle
+// of the continuous scan.
+func (p *Pipeline) Query(sql string) (*RunningQuery, error) {
+	return p.QueryAt(sql, p.w.Begin())
+}
+
+// QueryAt registers a query pinned to an explicit snapshot.
+func (p *Pipeline) QueryAt(sql string, snap Snapshot) (*RunningQuery, error) {
+	star, err := p.w.starSchema()
+	if err != nil {
+		return nil, err
+	}
+	b, err := query.ParseBind(sql, star)
+	if err != nil {
+		return nil, err
+	}
+	b.Snapshot = snap
+	h, err := p.p.Submit(b)
+	if err != nil {
+		return nil, err
+	}
+	return &RunningQuery{w: p.w, h: h, bound: b}, nil
+}
+
+// RunningQuery is a query registered with a pipeline.
+type RunningQuery struct {
+	w     *Warehouse
+	h     *core.Handle
+	bound *query.Bound
+}
+
+// Wait blocks until the query completes and returns its result.
+func (q *RunningQuery) Wait() (*Result, error) {
+	res := q.h.Wait()
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return q.w.decodeResults(q.bound, res.Rows), nil
+}
+
+// Progress reports the fraction of the scan cycle completed, in [0,1] —
+// the paper's "reliable progress indicator" (§3.2.3).
+func (q *RunningQuery) Progress() float64 { return q.h.Progress() }
+
+// SubmissionTime is how long registration took (the paper's submission
+// time metric).
+func (q *RunningQuery) SubmissionTime() time.Duration { return q.h.Submission }
+
+// ETA estimates time to completion from the current scan rate (§3.2.3 of
+// the paper). ok is false until the first progress is observable.
+func (q *RunningQuery) ETA() (eta time.Duration, ok bool) { return q.h.ETA() }
+
+// Value is one output cell.
+type Value struct {
+	isStr   bool
+	isFloat bool
+	i       int64
+	f       float64
+	s       string
+}
+
+// Int returns the integer value (0 for strings).
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the value as float64.
+func (v Value) Float() float64 {
+	if v.isFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// String renders the cell.
+func (v Value) String() string {
+	switch {
+	case v.isStr:
+		return v.s
+	case v.isFloat:
+		return fmt.Sprintf("%.4g", v.f)
+	default:
+		return fmt.Sprintf("%d", v.i)
+	}
+}
+
+// Result is a decoded query result: grouped rows with dictionary-decoded
+// string columns.
+type Result struct {
+	Columns []string
+	rows    [][]Value
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.rows) }
+
+// Row returns result row i.
+func (r *Result) Row(i int) []Value { return r.rows[i] }
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	cells := [][]string{r.Columns}
+	for _, row := range r.rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = v.String()
+		}
+		cells = append(cells, line)
+	}
+	widths := make([]int, len(r.Columns))
+	for _, line := range cells {
+		for c, cell := range line {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, line := range cells {
+		for c, cell := range line {
+			fmt.Fprintf(&sb, "%-*s", widths[c]+2, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// decodeResults converts raw aggregation output into a Result, decoding
+// dictionary-encoded group columns back to strings.
+func (w *Warehouse) decodeResults(b *query.Bound, rows []agg.Result) *Result {
+	res := &Result{Columns: append(append([]string{}, b.GroupNames...), b.AggNames...)}
+	for _, r := range rows {
+		line := make([]Value, 0, len(r.Group)+len(r.Ints))
+		for gi, gv := range r.Group {
+			line = append(line, w.decodeGroupValue(b, gi, gv))
+		}
+		for ai := range r.Ints {
+			spec := b.Aggs[ai]
+			if spec.Fn == agg.Avg {
+				line = append(line, Value{isFloat: true, f: r.Value(ai, spec)})
+			} else {
+				line = append(line, Value{i: r.Ints[ai]})
+			}
+		}
+		res.rows = append(res.rows, line)
+	}
+	return res
+}
+
+func (w *Warehouse) decodeGroupValue(b *query.Bound, gi int, v int64) Value {
+	col, ok := b.GroupBy[gi].(expr.Col)
+	if !ok {
+		return Value{i: v}
+	}
+	tab := b.Schema.Fact
+	if col.Slot > 0 {
+		tab = b.Schema.Dims[col.Slot-1]
+	}
+	if d := tab.Dicts[col.Idx]; d != nil {
+		if s, ok := d.Decode(v); ok {
+			return Value{isStr: true, s: s}
+		}
+	}
+	return Value{i: v}
+}
+
+// Baseline is a conventional query-at-a-time engine over the same
+// warehouse, for comparing against CJOIN.
+type Baseline struct {
+	w   *Warehouse
+	eng *engine.Engine
+}
+
+// BaselineEngine returns a conventional engine configured like one of the
+// paper's comparison systems: "systemx" or "postgres".
+func (w *Warehouse) BaselineEngine(system string) (*Baseline, error) {
+	star, err := w.starSchema()
+	if err != nil {
+		return nil, err
+	}
+	var cfg engine.Config
+	switch system {
+	case "systemx":
+		cfg = engine.SystemXConfig()
+	case "postgres":
+		cfg = engine.PostgresConfig()
+	default:
+		return nil, fmt.Errorf("cjoin: unknown baseline %q (want systemx or postgres)", system)
+	}
+	return &Baseline{w: w, eng: engine.New(star, cfg)}, nil
+}
+
+// Query executes sql to completion with a private query-at-a-time plan.
+func (b *Baseline) Query(sql string) (*Result, error) {
+	star, err := b.w.starSchema()
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.ParseBind(sql, star)
+	if err != nil {
+		return nil, err
+	}
+	q.Snapshot = b.w.Begin()
+	rows, err := b.eng.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return b.w.decodeResults(q, rows), nil
+}

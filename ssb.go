@@ -1,0 +1,106 @@
+package cjoin
+
+import (
+	"math/rand"
+
+	"cjoin/internal/disk"
+	"cjoin/internal/ssb"
+)
+
+type diskConfig = disk.Config
+
+// SSBOptions sizes a generated Star Schema Benchmark warehouse.
+type SSBOptions struct {
+	// SF is the scale factor (>= 1).
+	SF int
+	// FactRowsPerSF maps one scale-factor unit to fact rows
+	// (default 10000).
+	FactRowsPerSF int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Disk is the simulated device model.
+	Disk DiskModel
+	// Partitions range-partitions the fact table by order date.
+	Partitions int
+}
+
+// SSBWarehouse is a Warehouse pre-loaded with the Star Schema Benchmark
+// used in the paper's evaluation: a lineorder fact table joined to
+// customer, supplier, part and date dimensions.
+type SSBWarehouse struct {
+	*Warehouse
+	ds *ssb.Dataset
+}
+
+// OpenSSB generates a deterministic SSB warehouse.
+func OpenSSB(opts SSBOptions) (*SSBWarehouse, error) {
+	ds, err := ssb.Generate(ssb.Config{
+		SF:            opts.SF,
+		FactRowsPerSF: opts.FactRowsPerSF,
+		Seed:          opts.Seed,
+		Disk:          toDiskConfig(opts.Disk),
+		Partitions:    opts.Partitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &Warehouse{
+		dev:    ds.Dev,
+		txn:    ds.Txn,
+		tables: make(map[string]*Table),
+		star:   ds.Star,
+	}
+	fact := &Table{w: w, tab: ds.Lineorder, isFact: true}
+	w.tables[ds.Lineorder.Name] = fact
+	w.fact = fact
+	for _, t := range []struct{ tab *Table }{
+		{&Table{w: w, tab: ds.Customer}},
+		{&Table{w: w, tab: ds.Supplier}},
+		{&Table{w: w, tab: ds.Part}},
+		{&Table{w: w, tab: ds.Date}},
+	} {
+		w.tables[t.tab.tab.Name] = t.tab
+	}
+	return &SSBWarehouse{Warehouse: w, ds: ds}, nil
+}
+
+// SSBWorkload generates the paper's workload: queries sampled from SSB
+// templates Q2.1–Q4.3 with range predicates of the given selectivity.
+type SSBWorkload struct{ w *ssb.Workload }
+
+// NewWorkload returns a deterministic workload stream.
+func (s *SSBWarehouse) NewWorkload(selectivity float64, seed int64) *SSBWorkload {
+	return &SSBWorkload{w: ssb.NewWorkload(s.ds, selectivity, seed)}
+}
+
+// Next returns the next query's template id and SQL text.
+func (w *SSBWorkload) Next() (template, sql string) { return w.w.Next() }
+
+// FromTemplate instantiates the named template (e.g. "Q4.2").
+func (w *SSBWorkload) FromTemplate(id string) (string, error) { return w.w.FromTemplate(id) }
+
+// TemplateIDs lists the available SSB workload templates.
+func TemplateIDs() []string {
+	ts := ssb.Templates()
+	ids := make([]string, len(ts))
+	for i, t := range ts {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// AppendSales appends n random fact rows in one transaction, for
+// exercising snapshot-isolated updates (§3.5 of the paper).
+func (s *SSBWarehouse) AppendSales(n int, seed int64) (Snapshot, error) {
+	return s.ds.AppendFact(n, rand.New(rand.NewSource(seed)))
+}
+
+// DateKeys returns the sorted d_datekey domain, handy for building
+// date-range predicates.
+func (s *SSBWarehouse) DateKeys() []int64 { return s.ds.DateKeys }
+
+func toDiskConfig(m DiskModel) (c diskConfig) {
+	c.SeqBytesPerSec = m.SeqBytesPerSec
+	c.SeekPenalty = m.SeekPenalty
+	return c
+}
