@@ -1,0 +1,31 @@
+# CJOIN build/test/bench entry points. `make bench` snapshots the Filter
+# hot-loop microbenchmarks into BENCH_<BENCH_N>.json so successive PRs
+# leave a comparable performance trajectory (see PERFORMANCE.md).
+
+GO        ?= go
+BENCH_N   ?= 1
+BENCHTIME ?= 1s
+
+.PHONY: all build test race bench vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full suite under the race detector; the Filter churn tests verify
+# the lock-free probe path against concurrent admit/remove.
+race:
+	$(GO) test -race -timeout 900s ./...
+
+vet:
+	$(GO) vet ./...
+
+# Filter/pipeline hot-path microbenchmarks, snapshotted as JSON. Run the
+# paper-scale experiment benchmarks separately: go test -bench . -v .
+bench:
+	$(GO) test -run '^$$' -bench 'FilterProbe' -benchtime $(BENCHTIME) -count 3 ./internal/core \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_$(BENCH_N).json

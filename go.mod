@@ -1,0 +1,3 @@
+module cjoin
+
+go 1.24

@@ -115,6 +115,17 @@ func (v Vec) Fill(nbits int) {
 	}
 }
 
+// Uint64 returns the vector's first word — the entire vector when its
+// width is at most 64 bits. This is the CJOIN Filter's single-word fast
+// path (maxConc <= 64): with the whole bit-vector in one register, the
+// probe-skip test (§3.2.2), the AND, and the zero check are plain
+// integer operations with no slice iteration.
+func (v Vec) Uint64() uint64 { return v[0] }
+
+// SetUint64 overwrites the vector's first word — the store half of the
+// single-word fast path.
+func (v Vec) SetUint64(w uint64) { v[0] = w }
+
 // CopyFrom overwrites v with the contents of o.
 func (v Vec) CopyFrom(o Vec) { copy(v, o) }
 

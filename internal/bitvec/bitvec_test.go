@@ -267,3 +267,27 @@ func TestAllocatorConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestUint64FastPath(t *testing.T) {
+	v := New(64)
+	v.Set(0)
+	v.Set(63)
+	if v.Uint64() != 1|1<<63 {
+		t.Fatalf("Uint64 = %x", v.Uint64())
+	}
+	v.SetUint64(0xf0)
+	if v.Uint64() != 0xf0 || !v.Get(4) || v.Get(0) {
+		t.Fatalf("SetUint64 round trip failed: %x", v.Uint64())
+	}
+	// The register form must agree with the vector operations the fast
+	// path replaces: probe-skip test, AND, and zero check.
+	mask := New(64)
+	mask.SetUint64(0x0f)
+	if (v.Uint64()&^mask.Uint64() == 0) != v.AndNotIsZero(mask) {
+		t.Fatal("register probe-skip test diverges from AndNotIsZero")
+	}
+	v.And(mask)
+	if v.Uint64() != 0xf0&0x0f || (v.Uint64() == 0) != v.IsZero() {
+		t.Fatalf("register AND diverges from Vec.And: %x", v.Uint64())
+	}
+}

@@ -27,13 +27,15 @@ type control struct {
 }
 
 // tuple is one in-flight fact tuple: the copied fact row, the
-// query-relevance bit-vector bτ, and pointers to the joining dimension
-// entries attached during probing (§3.2.2) so aggregation operators can
-// read dimension attributes without re-probing.
+// query-relevance bit-vector bτ, and the joining dimension rows attached
+// during probing (§3.2.2) so aggregation operators can read dimension
+// attributes without re-probing. Each attached row is a slice into an
+// immutable dimht snapshot arena (or a mapTable entry row), so no entry
+// pointer is chased downstream.
 type tuple struct {
 	row  []int64
 	bv   bitvec.Vec
-	dims []*dimEntry
+	dims [][]int64
 }
 
 // batch is the unit of flow through the pipeline: either one control
@@ -50,10 +52,14 @@ type batch struct {
 	// backing arenas, preallocated once per pooled batch
 	rowArena []int64
 	bvArena  []uint64
-	dimArena []*dimEntry
-	ncols    int
-	words    int
-	ndims    int
+	dimArena [][]int64
+	// slots is the scratch array for the Filter's two-pass probe: pass 1
+	// records each tuple's resolved table slot (or skip/miss marker),
+	// pass 2 applies the bit-vector AND and compacts.
+	slots []int32
+	ncols int
+	words int
+	ndims int
 }
 
 func newBatch(capRows, ncols, words, ndims int) *batch {
@@ -62,7 +68,8 @@ func newBatch(capRows, ncols, words, ndims int) *batch {
 		rows:     make([]tuple, 0, capRows),
 		rowArena: make([]int64, capRows*ncols),
 		bvArena:  make([]uint64, capRows*words),
-		dimArena: make([]*dimEntry, capRows*ndims),
+		dimArena: make([][]int64, capRows*ndims),
+		slots:    make([]int32, capRows),
 		ncols:    ncols,
 		words:    words,
 		ndims:    ndims,

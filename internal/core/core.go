@@ -89,6 +89,10 @@ type Config struct {
 	// (bτ AND NOT b_Dj == 0 forwards without probing). For ablation
 	// benchmarks only.
 	DisableProbeSkip bool
+	// LegacyMapFilter swaps the Filters' lock-free copy-on-write dimht
+	// tables for the original map[int64]*dimEntry + RWMutex store. For
+	// ablation benchmarks only.
+	LegacyMapFilter bool
 	// FactSource overrides the physical source of the continuous scan —
 	// e.g. a column-store scan/merge (§5). Row width must match the
 	// star's fact schema. Incompatible with partitioned stars.

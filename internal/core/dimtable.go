@@ -1,32 +1,53 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"cjoin/internal/bitvec"
 	"cjoin/internal/catalog"
+	"cjoin/internal/dimht"
 	"cjoin/internal/expr"
 	"cjoin/internal/storage"
 )
 
-// dimEntry is one stored dimension tuple δ with its bit-vector b_δ:
-// bit i is 1 iff query i references this dimension and selects δ, or
-// query i is active and does not reference this dimension (§3.2.1).
-type dimEntry struct {
-	row []int64
-	bv  bitvec.Vec
-}
-
-// dimState is the Filter state for one dimension table: the hash table
+// dimTable abstracts the Filter's per-dimension store: the hash table
 // HD_j plus the complement bitmap b_Dj (bit i set iff active query i does
 // not reference D_j), which doubles as the filtering vector for fact
 // tuples whose dimension tuple is absent from the table and as the
 // probe-skip mask (§3.2.2).
 //
-// The hash table is read-mostly (§4): Filters take the read lock per
-// batch; the pipeline manager takes the write lock during query admission
-// and finalization sweeps.
+// Two implementations exist: cowTable (default) publishes copy-on-write
+// dimht snapshots so the probe path is lock-free, and mapTable keeps the
+// original map[int64]*dimEntry under an RWMutex as an ablation baseline
+// (Config.LegacyMapFilter).
+type dimTable interface {
+	refCount() int
+	size() int
+	// admitNonRef marks query slot as active but non-referencing: set
+	// bit slot in b_Dj and in every stored entry (§3.2.1's implicit TRUE
+	// predicate).
+	admitNonRef(slot int)
+	// admitRef installs the rows selected by the query's dimension
+	// predicate and sets bit slot on each (Algorithm 1).
+	admitRef(slot, keyCol int, rows [][]int64)
+	// remove clears bit slot everywhere and garbage-collects entries
+	// selected by no remaining referencing query (Algorithm 2). It
+	// reports whether the table emptied.
+	remove(slot int, referenced bool) (emptied bool)
+	// filterBatch probes the table for every tuple in the batch, ANDs
+	// bit-vectors, attaches joining dimension rows, compacts the batch
+	// in place (§3.2.2), and accumulates d's probe/drop statistics.
+	filterBatch(d *dimState, b *batch)
+	// forEach visits every stored entry; the bit-vector aliases internal
+	// storage and must not be modified or retained.
+	forEach(fn func(key int64, row []int64, bv bitvec.Vec) bool)
+	// forceRefs overrides the reference count (test plumbing only).
+	forceRefs(n int)
+}
+
+// dimState is the Filter state for one dimension table: schema wiring,
+// the pluggable store, and run-time statistics for on-the-fly Filter
+// ordering (§3.4).
 type dimState struct {
 	index  int // dimension position within the star
 	table  *catalog.Table
@@ -36,43 +57,36 @@ type dimState struct {
 
 	noSkip bool // ablation: disable the probe-skip optimization
 
-	mu   sync.RWMutex
-	ht   map[int64]*dimEntry
-	bDj  bitvec.Vec
-	refs int // active queries referencing this dimension
+	tab dimTable
 
-	// Run-time statistics for on-the-fly Filter ordering (§3.4).
 	tuplesIn atomic.Int64
 	probes   atomic.Int64
 	drops    atomic.Int64
 }
 
-func newDimState(star *catalog.Star, index, maxConc int) *dimState {
-	return &dimState{
+func newDimState(star *catalog.Star, index, maxConc int, legacyMap bool) *dimState {
+	d := &dimState{
 		index:  index,
 		table:  star.Dims[index],
 		fkCol:  star.FKCol[index],
 		keyCol: star.KeyCol[index],
 		words:  bitvec.Words(maxConc),
-		ht:     make(map[int64]*dimEntry),
-		bDj:    bitvec.New(maxConc),
 	}
+	ncols := star.Dims[index].Heap.NumCols()
+	if legacyMap {
+		d.tab = newMapTable(maxConc)
+	} else {
+		d.tab = &cowTable{t: dimht.New(d.words, ncols)}
+	}
+	return d
 }
 
 // refCount returns the number of active queries referencing the
 // dimension.
-func (d *dimState) refCount() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.refs
-}
+func (d *dimState) refCount() int { return d.tab.refCount() }
 
 // size returns the number of stored dimension tuples.
-func (d *dimState) size() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.ht)
-}
+func (d *dimState) size() int { return d.tab.size() }
 
 // admit implements the per-dimension half of Algorithm 1 for query slot
 // n. If the query references this dimension, pred selects the dimension
@@ -83,18 +97,14 @@ func (d *dimState) size() int {
 // in every stored entry.
 func (d *dimState) admit(slot int, pred expr.Node) error {
 	if pred == nil {
-		d.mu.Lock()
-		d.bDj.Set(slot)
-		for _, e := range d.ht {
-			e.bv.Set(slot)
-		}
-		d.mu.Unlock()
+		d.tab.admitNonRef(slot)
 		return nil
 	}
 
-	// Evaluate the dimension query outside the write lock where
-	// possible: collect selected rows first (the paper issues the
-	// predicate query to the underlying engine), then install them.
+	// Evaluate the dimension query before mutating anything (the paper
+	// issues the predicate query to the underlying engine): collect
+	// selected rows first, then install them, so a scan error leaves the
+	// table untouched.
 	var selected [][]int64
 	sc := storage.NewScanner(d.table.Heap)
 	for row, ok := sc.Next(); ok; row, ok = sc.Next() {
@@ -107,19 +117,7 @@ func (d *dimState) admit(slot int, pred expr.Node) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-
-	d.mu.Lock()
-	d.refs++
-	for _, row := range selected {
-		key := row[d.keyCol]
-		e, ok := d.ht[key]
-		if !ok {
-			e = &dimEntry{row: row, bv: d.bDj.Clone()}
-			d.ht[key] = e
-		}
-		e.bv.Set(slot)
-	}
-	d.mu.Unlock()
+	d.tab.admitRef(slot, d.keyCol, selected)
 	return nil
 }
 
@@ -130,64 +128,207 @@ func (d *dimState) admit(slot int, pred expr.Node) error {
 // (b_δ AND NOT b_Dj) == 0, since b_Dj holds exactly the bits of active
 // non-referencing queries.
 func (d *dimState) remove(slot int, referenced bool) (emptied bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.bDj.Clear(slot)
-	if referenced {
-		d.refs--
-	}
-	for key, e := range d.ht {
-		e.bv.Clear(slot)
-		if e.bv.AndNotIsZero(d.bDj) {
-			delete(d.ht, key)
-		}
-	}
-	return len(d.ht) == 0 && d.refs == 0
+	return d.tab.remove(slot, referenced)
 }
 
-// filterBatch probes the dimension hash table for every tuple in the
-// batch, ANDs bit-vectors, attaches joining dimension pointers, and
-// compacts the batch in place, dropping tuples whose bit-vector became
-// zero (§3.2.2).
-func (d *dimState) filterBatch(b *batch) {
-	d.mu.RLock()
-	if d.refs == 0 {
+// filterBatch runs the Filter over one batch.
+func (d *dimState) filterBatch(b *batch) { d.tab.filterBatch(d, b) }
+
+// selectedKeyRange returns the min and max stored key carrying the
+// query's bit — used for partition pruning (§5). any is false when the
+// query selects no stored tuple.
+func (d *dimState) selectedKeyRange(slot int) (minKey, maxKey int64, any bool) {
+	d.tab.forEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+		if !bv.Get(slot) {
+			return true
+		}
+		if !any || key < minKey {
+			minKey = key
+		}
+		if !any || key > maxKey {
+			maxKey = key
+		}
+		any = true
+		return true
+	})
+	return
+}
+
+// cowTable is the default store: a dimht copy-on-write open-addressing
+// table. filterBatch probes an atomically loaded snapshot and therefore
+// takes no lock; admission and finalization build the next snapshot off
+// to the side (writers serialize inside dimht.Table).
+type cowTable struct {
+	t *dimht.Table
+}
+
+func (c *cowTable) refCount() int { return c.t.Load().Refs() }
+func (c *cowTable) size() int     { return c.t.Load().Len() }
+
+func (c *cowTable) admitNonRef(slot int) {
+	c.t.Update(func(b *dimht.Builder) {
+		b.SetMaskBit(slot)
+		b.SetBitAll(slot)
+	})
+}
+
+func (c *cowTable) admitRef(slot, keyCol int, rows [][]int64) {
+	c.t.Update(func(b *dimht.Builder) {
+		b.AddRef()
+		for _, row := range rows {
+			b.Upsert(row[keyCol], row).Set(slot)
+		}
+	})
+}
+
+func (c *cowTable) remove(slot int, referenced bool) (emptied bool) {
+	s := c.t.Update(func(b *dimht.Builder) {
+		b.ClearMaskBit(slot)
+		if referenced {
+			b.DropRef()
+		}
+		b.ClearBitAll(slot)
+		mask := b.Mask()
+		b.Retain(func(bv bitvec.Vec) bool { return !bv.AndNotIsZero(mask) })
+	})
+	return s.Len() == 0 && s.Refs() == 0
+}
+
+func (c *cowTable) forEach(fn func(key int64, row []int64, bv bitvec.Vec) bool) {
+	c.t.Load().ForEach(fn)
+}
+
+func (c *cowTable) forceRefs(n int) {
+	c.t.Update(func(b *dimht.Builder) { b.SetRefs(n) })
+}
+
+// slot markers for the two-pass probe. Table slots are >= 0; miss and
+// skip ride in the same scratch array.
+const (
+	slotMiss = int32(-1)
+	slotSkip = int32(-2)
+)
+
+// filterBatch is the CJOIN hot loop. One atomic load pins a consistent
+// (table, b_Dj, refs) snapshot for the whole batch; no lock is taken.
+//
+// The loop is split into two passes over the batch — hash/probe first,
+// then AND/compact — so the probe pass issues its independent memory
+// loads back to back (the hardware can overlap the misses) instead of
+// interleaving them with the branchy compaction logic.
+func (c *cowTable) filterBatch(d *dimState, b *batch) {
+	s := c.t.Load()
+	if s.Refs() == 0 {
 		// No active query references this dimension: b_Dj covers every
 		// relevant bit, the AND is a no-op, and probing is pointless.
-		d.mu.RUnlock()
 		return
 	}
 	in := int64(len(b.rows))
-	n := 0
 	var probes, drops int64
-	for i := range b.rows {
-		t := &b.rows[i]
-		// Probe-skip optimization: if τ is relevant only to queries
-		// that do not reference D_j, forward it unchanged.
-		if !d.noSkip && t.bv.AndNotIsZero(d.bDj) {
-			b.rows[n] = b.rows[i]
+	if s.Words() == 1 {
+		probes, drops = filterBatchWord(d, b, s)
+	} else {
+		probes, drops = filterBatchVec(d, b, s)
+	}
+	d.tuplesIn.Add(in)
+	d.probes.Add(probes)
+	d.drops.Add(drops)
+}
+
+// filterBatchWord is the single-word fast path (maxConc <= 64): the whole
+// bit-vector is one uint64, so the probe-skip test, the AND, and the
+// zero-check are plain register operations with no slice iteration.
+func filterBatchWord(d *dimState, b *batch, s *dimht.Snapshot) (probes, drops int64) {
+	mask := s.MaskWord()
+	rows := b.rows
+	slots := b.slots[:len(rows)]
+	noSkip := d.noSkip
+	fk := d.fkCol
+
+	// Pass 1: classify every tuple and resolve its probe.
+	for i := range rows {
+		if !noSkip && rows[i].bv.Uint64()&^mask == 0 {
+			// Probe-skip optimization (§3.2.2): τ is relevant only to
+			// queries that do not reference D_j.
+			slots[i] = slotSkip
+			continue
+		}
+		slots[i] = s.Lookup(rows[i].row[fk])
+	}
+
+	// Pass 2: AND, attach, compact.
+	n := 0
+	dim := d.index
+	for i := range rows {
+		sl := slots[i]
+		if sl == slotSkip {
+			rows[n] = rows[i]
 			n++
 			continue
 		}
 		probes++
-		if e, ok := d.ht[t.row[d.fkCol]]; ok {
-			t.bv.And(e.bv)
-			t.dims[d.index] = e
+		w := rows[i].bv.Uint64()
+		if sl >= 0 {
+			w &= s.Word(sl)
+			rows[i].dims[dim] = s.Row(sl)
 		} else {
-			t.bv.And(d.bDj)
+			w &= mask
+		}
+		if w == 0 {
+			drops++
+			continue
+		}
+		rows[i].bv.SetUint64(w)
+		rows[n] = rows[i]
+		n++
+	}
+	b.rows = rows[:n]
+	return
+}
+
+// filterBatchVec is the general path for maxConc > 64: identical
+// structure, multi-word bit-vector operations.
+func filterBatchVec(d *dimState, b *batch, s *dimht.Snapshot) (probes, drops int64) {
+	bDj := s.Mask()
+	rows := b.rows
+	slots := b.slots[:len(rows)]
+	noSkip := d.noSkip
+	fk := d.fkCol
+
+	for i := range rows {
+		if !noSkip && rows[i].bv.AndNotIsZero(bDj) {
+			slots[i] = slotSkip
+			continue
+		}
+		slots[i] = s.Lookup(rows[i].row[fk])
+	}
+
+	n := 0
+	dim := d.index
+	for i := range rows {
+		sl := slots[i]
+		if sl == slotSkip {
+			rows[n] = rows[i]
+			n++
+			continue
+		}
+		probes++
+		t := &rows[i]
+		if sl >= 0 {
+			t.bv.And(s.Bits(sl))
+			t.dims[dim] = s.Row(sl)
+		} else {
+			t.bv.And(bDj)
 		}
 		if t.bv.IsZero() {
 			drops++
 			continue
 		}
-		b.rows[n] = b.rows[i]
+		rows[n] = rows[i]
 		n++
 	}
-	b.rows = b.rows[:n]
-	d.mu.RUnlock()
-	d.tuplesIn.Add(in)
-	d.probes.Add(probes)
-	d.drops.Add(drops)
+	b.rows = rows[:n]
+	return
 }
 
 // FilterStats is a snapshot of one Filter's run-time counters.
@@ -218,9 +359,20 @@ func (d *dimState) stats() FilterStats {
 }
 
 // decayStats halves the counters so the on-line optimizer tracks the
-// current query mix rather than all history (§3.4).
+// current query mix rather than all history (§3.4). CAS loops keep
+// concurrent Adds from Stage workers intact: a plain Load/Store pair
+// would silently discard any Add landing between the two.
 func (d *dimState) decayStats() {
-	d.tuplesIn.Store(d.tuplesIn.Load() / 2)
-	d.probes.Store(d.probes.Load() / 2)
-	d.drops.Store(d.drops.Load() / 2)
+	decayCounter(&d.tuplesIn)
+	decayCounter(&d.probes)
+	decayCounter(&d.drops)
+}
+
+func decayCounter(c *atomic.Int64) {
+	for {
+		v := c.Load()
+		if c.CompareAndSwap(v, v/2) {
+			return
+		}
+	}
 }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync"
+
+	"cjoin/internal/bitvec"
+)
+
+// dimEntry is one stored dimension tuple δ with its bit-vector b_δ:
+// bit i is 1 iff query i references this dimension and selects δ, or
+// query i is active and does not reference this dimension (§3.2.1).
+// Only the mapTable baseline allocates these; the default cowTable keeps
+// rows and bit-vectors inline in dimht arenas.
+type dimEntry struct {
+	row []int64
+	bv  bitvec.Vec
+}
+
+// mapTable is the original Filter store, kept as the ablation baseline
+// (Config.LegacyMapFilter): a built-in map of heap-allocated entries
+// behind a per-batch RWMutex. Every probe costs three dependent cache
+// misses (map bucket, entry, bit-vector) plus read-lock traffic that
+// grows with Stage workers — exactly the overhead dimht removes.
+type mapTable struct {
+	mu   sync.RWMutex
+	ht   map[int64]*dimEntry
+	bDj  bitvec.Vec
+	refs int
+}
+
+func newMapTable(maxConc int) *mapTable {
+	return &mapTable{
+		ht:  make(map[int64]*dimEntry),
+		bDj: bitvec.New(maxConc),
+	}
+}
+
+func (m *mapTable) refCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.refs
+}
+
+func (m *mapTable) size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.ht)
+}
+
+func (m *mapTable) admitNonRef(slot int) {
+	m.mu.Lock()
+	m.bDj.Set(slot)
+	for _, e := range m.ht {
+		e.bv.Set(slot)
+	}
+	m.mu.Unlock()
+}
+
+func (m *mapTable) admitRef(slot, keyCol int, rows [][]int64) {
+	m.mu.Lock()
+	m.refs++
+	for _, row := range rows {
+		key := row[keyCol]
+		e, ok := m.ht[key]
+		if !ok {
+			e = &dimEntry{row: row, bv: m.bDj.Clone()}
+			m.ht[key] = e
+		}
+		e.bv.Set(slot)
+	}
+	m.mu.Unlock()
+}
+
+func (m *mapTable) remove(slot int, referenced bool) (emptied bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bDj.Clear(slot)
+	if referenced {
+		m.refs--
+	}
+	for key, e := range m.ht {
+		e.bv.Clear(slot)
+		if e.bv.AndNotIsZero(m.bDj) {
+			delete(m.ht, key)
+		}
+	}
+	return len(m.ht) == 0 && m.refs == 0
+}
+
+func (m *mapTable) filterBatch(d *dimState, b *batch) {
+	m.mu.RLock()
+	if m.refs == 0 {
+		m.mu.RUnlock()
+		return
+	}
+	in := int64(len(b.rows))
+	n := 0
+	var probes, drops int64
+	for i := range b.rows {
+		t := &b.rows[i]
+		if !d.noSkip && t.bv.AndNotIsZero(m.bDj) {
+			b.rows[n] = b.rows[i]
+			n++
+			continue
+		}
+		probes++
+		if e, ok := m.ht[t.row[d.fkCol]]; ok {
+			t.bv.And(e.bv)
+			t.dims[d.index] = e.row
+		} else {
+			t.bv.And(m.bDj)
+		}
+		if t.bv.IsZero() {
+			drops++
+			continue
+		}
+		b.rows[n] = b.rows[i]
+		n++
+	}
+	b.rows = b.rows[:n]
+	m.mu.RUnlock()
+	d.tuplesIn.Add(in)
+	d.probes.Add(probes)
+	d.drops.Add(drops)
+}
+
+func (m *mapTable) forEach(fn func(key int64, row []int64, bv bitvec.Vec) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for key, e := range m.ht {
+		if !fn(key, e.row, e.bv) {
+			return
+		}
+	}
+}
+
+func (m *mapTable) forceRefs(n int) {
+	m.mu.Lock()
+	m.refs = n
+	m.mu.Unlock()
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cjoin/internal/bitvec"
+)
+
+// TestDimTableParity is the property test for the dimht Filter store: a
+// random interleaving of admissions, removals, and batch filters is
+// applied to a dimht-backed dimState and a map-backed one in lockstep,
+// and every observable — table size, reference count, surviving tuples,
+// their bit-vectors, attached dimension rows, and probe/drop statistics
+// — must agree between the two implementations.
+func TestDimTableParity(t *testing.T) {
+	const (
+		maxConc = 96 // multi-word vectors: covers the general path
+		dimRows = 60
+		rounds  = 400
+	)
+	star := miniStar(t, dimRows)
+	cow := newDimState(star, 0, maxConc, false)
+	leg := newDimState(star, 0, maxConc, true)
+
+	rng := rand.New(rand.NewSource(20090824))
+	type admitted struct{ referenced bool }
+	active := map[int]admitted{}
+
+	filterPair := func() {
+		mkBatch := func() *batch {
+			b := newBatch(32, 2, bitvec.Words(maxConc), 1)
+			rng2 := rand.New(rand.NewSource(int64(len(active))*1000 + rng.Int63n(1000)))
+			for i := 0; i < 32; i++ {
+				tp := b.alloc()
+				tp.row[0] = rng2.Int63n(dimRows + 20) // some keys miss the table
+				for slot := range active {
+					if rng2.Intn(2) == 0 {
+						tp.bv.Set(slot)
+					}
+				}
+				if tp.bv.IsZero() {
+					b.unalloc()
+				}
+			}
+			return b
+		}
+		b1 := mkBatch()
+		b2 := &batch{rows: append([]tuple(nil), b1.rows...), slots: make([]int32, len(b1.rows))}
+		// Deep-copy tuples so the two filters do not share bit-vectors.
+		for i := range b2.rows {
+			b2.rows[i].bv = b1.rows[i].bv.Clone()
+			b2.rows[i].dims = make([][]int64, 1)
+		}
+
+		cow.filterBatch(b1)
+		leg.filterBatch(b2)
+
+		if len(b1.rows) != len(b2.rows) {
+			t.Fatalf("survivor count dimht=%d map=%d", len(b1.rows), len(b2.rows))
+		}
+		for i := range b1.rows {
+			t1, t2 := &b1.rows[i], &b2.rows[i]
+			if t1.row[0] != t2.row[0] {
+				t.Fatalf("row order diverged at %d: %d vs %d", i, t1.row[0], t2.row[0])
+			}
+			if !t1.bv.Equal(t2.bv) {
+				t.Fatalf("bits diverged for key %d: %v vs %v", t1.row[0], t1.bv, t2.bv)
+			}
+			d1, d2 := t1.dims[0], t2.dims[0]
+			if (d1 == nil) != (d2 == nil) {
+				t.Fatalf("attachment diverged for key %d: %v vs %v", t1.row[0], d1, d2)
+			}
+			if d1 != nil && (d1[0] != d2[0] || d1[1] != d2[1]) {
+				t.Fatalf("attached rows diverged for key %d: %v vs %v", t1.row[0], d1, d2)
+			}
+		}
+	}
+
+	check := func() {
+		if cow.size() != leg.size() {
+			t.Fatalf("size dimht=%d map=%d", cow.size(), leg.size())
+		}
+		if cow.refCount() != leg.refCount() {
+			t.Fatalf("refs dimht=%d map=%d", cow.refCount(), leg.refCount())
+		}
+		s1, s2 := cow.stats(), leg.stats()
+		if s1.Probes != s2.Probes || s1.Drops != s2.Drops || s1.TuplesIn != s2.TuplesIn {
+			t.Fatalf("stats diverged: dimht=%+v map=%+v", s1, s2)
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(active) < maxConc/2:
+			// Admit a fresh slot: referencing with random selectivity, or
+			// non-referencing.
+			slot := rng.Intn(maxConc)
+			if _, used := active[slot]; used {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				if err := cow.admit(slot, nil); err != nil {
+					t.Fatal(err)
+				}
+				if err := leg.admit(slot, nil); err != nil {
+					t.Fatal(err)
+				}
+				active[slot] = admitted{referenced: false}
+			} else {
+				pred := predLt(rng.Int63n(6))
+				if err := cow.admit(slot, pred); err != nil {
+					t.Fatal(err)
+				}
+				if err := leg.admit(slot, pred); err != nil {
+					t.Fatal(err)
+				}
+				active[slot] = admitted{referenced: true}
+			}
+		case op == 1 && len(active) > 0:
+			// Remove a random active slot.
+			for slot, a := range active {
+				e1 := cow.remove(slot, a.referenced)
+				e2 := leg.remove(slot, a.referenced)
+				if e1 != e2 {
+					t.Fatalf("emptied diverged for slot %d: %v vs %v", slot, e1, e2)
+				}
+				delete(active, slot)
+				break
+			}
+		default:
+			filterPair()
+		}
+		check()
+	}
+}

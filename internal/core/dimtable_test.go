@@ -31,180 +31,237 @@ func predLt(x int64) expr.Node {
 	return expr.Bin{Op: expr.Lt, L: expr.Col{Slot: 0, Idx: 1, Name: "v"}, R: expr.Const{V: x}}
 }
 
-func TestDimStateAdmitReferenced(t *testing.T) {
-	star := miniStar(t, 20)
-	ds := newDimState(star, 0, 8)
-	// Query slot 3 selects v < 2 (k%5 in {0,1}): 8 of 20 rows.
-	if err := ds.admit(3, predLt(2)); err != nil {
-		t.Fatal(err)
-	}
-	if ds.refCount() != 1 {
-		t.Fatalf("refs %d", ds.refCount())
-	}
-	if ds.size() != 8 {
-		t.Fatalf("stored %d entries", ds.size())
-	}
-	if ds.bDj.Get(3) {
-		t.Fatal("bDj bit must be clear for a referencing query")
-	}
-	for _, e := range ds.ht {
-		if !e.bv.Get(3) {
-			t.Fatal("selected entry missing query bit")
+// forEachImpl runs the test body against both Filter stores: the default
+// lock-free dimht table and the legacy map baseline.
+func forEachImpl(t *testing.T, fn func(t *testing.T, legacyMap bool)) {
+	t.Run("dimht", func(t *testing.T) { fn(t, false) })
+	t.Run("map", func(t *testing.T) { fn(t, true) })
+}
+
+// checkEntries asserts pred over every stored entry's bit-vector.
+func checkEntries(t *testing.T, ds *dimState, what string, pred func(bv bitvec.Vec) bool) {
+	t.Helper()
+	ds.tab.forEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+		if !pred(bv) {
+			t.Fatalf("entry %d: %s (bits %v)", key, what, bv)
 		}
-	}
+		return true
+	})
+}
+
+func TestDimStateAdmitReferenced(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		star := miniStar(t, 20)
+		ds := newDimState(star, 0, 8, legacyMap)
+		// Query slot 3 selects v < 2 (k%5 in {0,1}): 8 of 20 rows.
+		if err := ds.admit(3, predLt(2)); err != nil {
+			t.Fatal(err)
+		}
+		if ds.refCount() != 1 {
+			t.Fatalf("refs %d", ds.refCount())
+		}
+		if ds.size() != 8 {
+			t.Fatalf("stored %d entries", ds.size())
+		}
+		checkEntries(t, ds, "selected entry missing query bit", func(bv bitvec.Vec) bool {
+			return bv.Get(3)
+		})
+	})
 }
 
 func TestDimStateAdmitNonReferencing(t *testing.T) {
-	star := miniStar(t, 10)
-	ds := newDimState(star, 0, 8)
-	if err := ds.admit(1, predLt(5)); err != nil {
-		t.Fatal(err)
-	}
-	// Slot 2 does not reference the dimension: every stored entry and
-	// bDj must carry its bit (§3.2.1's implicit TRUE predicate).
-	if err := ds.admit(2, nil); err != nil {
-		t.Fatal(err)
-	}
-	if !ds.bDj.Get(2) || ds.bDj.Get(1) {
-		t.Fatalf("bDj bits wrong: %v", ds.bDj)
-	}
-	for _, e := range ds.ht {
-		if !e.bv.Get(2) {
-			t.Fatal("non-referencing query bit missing on entry")
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		star := miniStar(t, 10)
+		ds := newDimState(star, 0, 8, legacyMap)
+		if err := ds.admit(1, predLt(5)); err != nil {
+			t.Fatal(err)
 		}
-	}
+		// Slot 2 does not reference the dimension: every stored entry and
+		// bDj must carry its bit (§3.2.1's implicit TRUE predicate).
+		if err := ds.admit(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		checkEntries(t, ds, "non-referencing query bit missing", func(bv bitvec.Vec) bool {
+			return bv.Get(2)
+		})
+	})
 }
 
 func TestDimStateRemoveGC(t *testing.T) {
-	star := miniStar(t, 20)
-	ds := newDimState(star, 0, 8)
-	if err := ds.admit(0, predLt(2)); err != nil { // 8 entries
-		t.Fatal(err)
-	}
-	if err := ds.admit(1, predLt(1)); err != nil { // subset: 4 entries
-		t.Fatal(err)
-	}
-	if ds.size() != 8 {
-		t.Fatalf("stored %d", ds.size())
-	}
-	// Removing query 0 must GC the entries only it selected.
-	if emptied := ds.remove(0, true); emptied {
-		t.Fatal("table must not be empty: query 1 remains")
-	}
-	if ds.size() != 4 {
-		t.Fatalf("GC left %d entries, want 4", ds.size())
-	}
-	if emptied := ds.remove(1, true); !emptied {
-		t.Fatal("removing the last query must empty the table")
-	}
-	if ds.size() != 0 || ds.refCount() != 0 {
-		t.Fatalf("size=%d refs=%d", ds.size(), ds.refCount())
-	}
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		star := miniStar(t, 20)
+		ds := newDimState(star, 0, 8, legacyMap)
+		if err := ds.admit(0, predLt(2)); err != nil { // 8 entries
+			t.Fatal(err)
+		}
+		if err := ds.admit(1, predLt(1)); err != nil { // subset: 4 entries
+			t.Fatal(err)
+		}
+		if ds.size() != 8 {
+			t.Fatalf("stored %d", ds.size())
+		}
+		// Removing query 0 must GC the entries only it selected.
+		if emptied := ds.remove(0, true); emptied {
+			t.Fatal("table must not be empty: query 1 remains")
+		}
+		if ds.size() != 4 {
+			t.Fatalf("GC left %d entries, want 4", ds.size())
+		}
+		if emptied := ds.remove(1, true); !emptied {
+			t.Fatal("removing the last query must empty the table")
+		}
+		if ds.size() != 0 || ds.refCount() != 0 {
+			t.Fatalf("size=%d refs=%d", ds.size(), ds.refCount())
+		}
+	})
 }
 
 func TestDimStateSlotReuseInvariant(t *testing.T) {
-	// After remove, the slot's bit must be clear everywhere so the next
-	// admission with the same slot starts clean.
-	star := miniStar(t, 10)
-	ds := newDimState(star, 0, 8)
-	if err := ds.admit(4, predLt(5)); err != nil {
-		t.Fatal(err)
-	}
-	if err := ds.admit(5, predLt(3)); err != nil {
-		t.Fatal(err)
-	}
-	ds.remove(4, true)
-	if ds.bDj.Get(4) {
-		t.Fatal("stale bDj bit after remove")
-	}
-	for _, e := range ds.ht {
-		if e.bv.Get(4) {
-			t.Fatal("stale entry bit after remove")
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		// After remove, the slot's bit must be clear everywhere so the
+		// next admission with the same slot starts clean.
+		star := miniStar(t, 10)
+		ds := newDimState(star, 0, 8, legacyMap)
+		if err := ds.admit(4, predLt(5)); err != nil {
+			t.Fatal(err)
 		}
-	}
-	// Reuse slot 4 as non-referencing: every surviving entry gains it.
-	if err := ds.admit(4, nil); err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range ds.ht {
-		if !e.bv.Get(4) {
-			t.Fatal("reused slot bit missing")
+		if err := ds.admit(5, predLt(3)); err != nil {
+			t.Fatal(err)
 		}
-	}
+		ds.remove(4, true)
+		checkEntries(t, ds, "stale entry bit after remove", func(bv bitvec.Vec) bool {
+			return !bv.Get(4)
+		})
+		// Reuse slot 4 as non-referencing: every surviving entry gains it.
+		if err := ds.admit(4, nil); err != nil {
+			t.Fatal(err)
+		}
+		checkEntries(t, ds, "reused slot bit missing", func(bv bitvec.Vec) bool {
+			return bv.Get(4)
+		})
+	})
 }
 
 func TestFilterBatchSemantics(t *testing.T) {
-	star := miniStar(t, 10)
-	ds := newDimState(star, 0, 8)
-	if err := ds.admit(0, predLt(1)); err != nil { // selects k%5==0: keys 0,5
-		t.Fatal(err)
-	}
-	if err := ds.admit(1, nil); err != nil { // does not reference d
-		t.Fatal(err)
-	}
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		star := miniStar(t, 10)
+		ds := newDimState(star, 0, 8, legacyMap)
+		if err := ds.admit(0, predLt(1)); err != nil { // selects k%5==0: keys 0,5
+			t.Fatal(err)
+		}
+		if err := ds.admit(1, nil); err != nil { // does not reference d
+			t.Fatal(err)
+		}
 
-	b := newBatch(4, 2, bitvec.Words(8), 1)
-	// Tuple A: fk joins selected entry 5 → both queries keep it.
-	a := b.alloc()
-	a.row[0] = 5
-	a.bv.Set(0)
-	a.bv.Set(1)
-	// Tuple B: fk joins unselected key 3 → only query 1 keeps it.
-	tb := b.alloc()
-	tb.row[0] = 3
-	tb.bv.Set(0)
-	tb.bv.Set(1)
-	// Tuple C: relevant only to query 0, joins unselected key → dropped.
-	tc := b.alloc()
-	tc.row[0] = 3
-	tc.bv.Set(0)
-	// Tuple D: relevant only to non-referencing query 1 → probe skipped,
-	// forwarded untouched.
-	td := b.alloc()
-	td.row[0] = 99 // key that does not even exist
-	td.bv.Set(1)
+		b := newBatch(4, 2, bitvec.Words(8), 1)
+		// Tuple A: fk joins selected entry 5 → both queries keep it.
+		a := b.alloc()
+		a.row[0] = 5
+		a.bv.Set(0)
+		a.bv.Set(1)
+		// Tuple B: fk joins unselected key 3 → only query 1 keeps it.
+		tb := b.alloc()
+		tb.row[0] = 3
+		tb.bv.Set(0)
+		tb.bv.Set(1)
+		// Tuple C: relevant only to query 0, joins unselected key → dropped.
+		tc := b.alloc()
+		tc.row[0] = 3
+		tc.bv.Set(0)
+		// Tuple D: relevant only to non-referencing query 1 → probe skipped,
+		// forwarded untouched.
+		td := b.alloc()
+		td.row[0] = 99 // key that does not even exist
+		td.bv.Set(1)
 
-	ds.filterBatch(b)
-	if len(b.rows) != 3 {
-		t.Fatalf("survivors %d, want 3", len(b.rows))
-	}
-	if !b.rows[0].bv.Get(0) || !b.rows[0].bv.Get(1) {
-		t.Fatal("tuple A bits wrong")
-	}
-	if b.rows[0].dims[0] == nil || b.rows[0].dims[0].row[0] != 5 {
-		t.Fatal("tuple A dimension pointer not attached")
-	}
-	if b.rows[1].bv.Get(0) || !b.rows[1].bv.Get(1) {
-		t.Fatal("tuple B bits wrong")
-	}
-	if b.rows[2].dims[0] != nil {
-		t.Fatal("skip-path tuple must not have a pointer attached")
-	}
-	st := ds.stats()
-	if st.TuplesIn != 4 || st.Probes != 3 || st.Drops != 1 {
-		t.Fatalf("stats %+v", st)
-	}
+		ds.filterBatch(b)
+		if len(b.rows) != 3 {
+			t.Fatalf("survivors %d, want 3", len(b.rows))
+		}
+		if !b.rows[0].bv.Get(0) || !b.rows[0].bv.Get(1) {
+			t.Fatal("tuple A bits wrong")
+		}
+		if b.rows[0].dims[0] == nil || b.rows[0].dims[0][0] != 5 {
+			t.Fatal("tuple A dimension row not attached")
+		}
+		if b.rows[1].bv.Get(0) || !b.rows[1].bv.Get(1) {
+			t.Fatal("tuple B bits wrong")
+		}
+		if b.rows[2].dims[0] != nil {
+			t.Fatal("skip-path tuple must not have a row attached")
+		}
+		st := ds.stats()
+		if st.TuplesIn != 4 || st.Probes != 3 || st.Drops != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+}
+
+// TestFilterBatchWidePath exercises the multi-word bit-vector path
+// (maxConc > 64), which the single-word fast path bypasses.
+func TestFilterBatchWidePath(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		const maxConc = 192
+		star := miniStar(t, 10)
+		ds := newDimState(star, 0, maxConc, legacyMap)
+		hi := maxConc - 1 // slot in the third word
+		if err := ds.admit(hi, predLt(1)); err != nil { // keys 0, 5
+			t.Fatal(err)
+		}
+		if err := ds.admit(70, nil); err != nil { // second word, non-referencing
+			t.Fatal(err)
+		}
+
+		b := newBatch(3, 2, bitvec.Words(maxConc), 1)
+		a := b.alloc() // joins selected key → both bits survive
+		a.row[0] = 5
+		a.bv.Set(hi)
+		a.bv.Set(70)
+		tb := b.alloc() // misses → only the non-referencing bit survives
+		tb.row[0] = 3
+		tb.bv.Set(hi)
+		tb.bv.Set(70)
+		tc := b.alloc() // relevant only to hi, misses → dropped
+		tc.row[0] = 3
+		tc.bv.Set(hi)
+
+		ds.filterBatch(b)
+		if len(b.rows) != 2 {
+			t.Fatalf("survivors %d, want 2", len(b.rows))
+		}
+		if !b.rows[0].bv.Get(hi) || !b.rows[0].bv.Get(70) {
+			t.Fatal("tuple A bits wrong")
+		}
+		if b.rows[0].dims[0] == nil || b.rows[0].dims[0][0] != 5 {
+			t.Fatal("tuple A dimension row not attached")
+		}
+		if b.rows[1].bv.Get(hi) || !b.rows[1].bv.Get(70) {
+			t.Fatal("tuple B bits wrong")
+		}
+	})
 }
 
 func TestFilterBatchNoRefsPassthrough(t *testing.T) {
-	star := miniStar(t, 5)
-	ds := newDimState(star, 0, 8)
-	b := newBatch(2, 2, bitvec.Words(8), 1)
-	x := b.alloc()
-	x.row[0] = 1
-	x.bv.Set(0)
-	ds.filterBatch(b)
-	if len(b.rows) != 1 || !b.rows[0].bv.Get(0) {
-		t.Fatal("unreferenced filter must pass tuples through")
-	}
-	if ds.stats().Probes != 0 {
-		t.Fatal("unreferenced filter must not probe")
-	}
+	forEachImpl(t, func(t *testing.T, legacyMap bool) {
+		star := miniStar(t, 5)
+		ds := newDimState(star, 0, 8, legacyMap)
+		b := newBatch(2, 2, bitvec.Words(8), 1)
+		x := b.alloc()
+		x.row[0] = 1
+		x.bv.Set(0)
+		ds.filterBatch(b)
+		if len(b.rows) != 1 || !b.rows[0].bv.Get(0) {
+			t.Fatal("unreferenced filter must pass tuples through")
+		}
+		if ds.stats().Probes != 0 {
+			t.Fatal("unreferenced filter must not probe")
+		}
+	})
 }
 
 func TestDecayStats(t *testing.T) {
 	star := miniStar(t, 5)
-	ds := newDimState(star, 0, 8)
+	ds := newDimState(star, 0, 8, false)
 	ds.tuplesIn.Store(100)
 	ds.drops.Store(50)
 	ds.probes.Store(80)

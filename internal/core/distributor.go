@@ -120,17 +120,11 @@ func (d *distributor) control(c *control) {
 }
 
 // route feeds one surviving tuple to every query whose bit is set,
-// reading dimension attributes through the pointers attached by the
+// reading dimension attributes through the snapshot rows attached by the
 // Filters.
 func (d *distributor) route(t *tuple) {
 	d.scratch.Fact = t.row
-	for j, e := range t.dims {
-		if e != nil {
-			d.scratch.Dims[j] = e.row
-		} else {
-			d.scratch.Dims[j] = nil
-		}
-	}
+	copy(d.scratch.Dims, t.dims)
 	t.bv.ForEach(func(slot int) bool {
 		if rq := d.queries[slot]; rq != nil {
 			if rq.sink != nil {

@@ -152,7 +152,7 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 		live:      make(map[int]*runningQuery),
 	}
 	for i := range star.Dims {
-		ds := newDimState(star, i, cfg.MaxConcurrent)
+		ds := newDimState(star, i, cfg.MaxConcurrent, cfg.LegacyMapFilter)
 		ds.noSkip = cfg.DisableProbeSkip
 		p.dimStates = append(p.dimStates, ds)
 	}
@@ -254,9 +254,10 @@ func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*Handle, error) {
 	start := time.Now()
 
 	// Algorithm 1 runs mostly outside the manager lock: the dimension
-	// hash-table updates serialize per dimension (each dimState has its
-	// own lock), so independent admissions proceed in parallel and
-	// submission time stays flat as concurrency grows (§6.2.2, Table 1).
+	// table updates serialize per dimension (each table has its own
+	// writer lock; Filters keep probing the previous snapshot), so
+	// independent admissions proceed in parallel and submission time
+	// stays flat as concurrency grows (§6.2.2, Table 1).
 	slot, ok := p.ids.Alloc()
 	if !ok {
 		return nil, ErrTooManyQueries
@@ -344,24 +345,8 @@ func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
 		}
 		return need
 	}
-	ds := p.dimStates[dimIdx]
-	ds.mu.RLock()
-	minKey, maxKey := int64(0), int64(0)
-	first := true
-	for key, e := range ds.ht {
-		if !e.bv.Get(slot) {
-			continue
-		}
-		if first || key < minKey {
-			minKey = key
-		}
-		if first || key > maxKey {
-			maxKey = key
-		}
-		first = false
-	}
-	ds.mu.RUnlock()
-	if first {
+	minKey, maxKey, any := p.dimStates[dimIdx].selectedKeyRange(slot)
+	if !any {
 		return need // query selects no partition-key values: zero pages
 	}
 	for i, part := range parts {
