@@ -6,9 +6,16 @@ GO        ?= go
 BENCH_N   ?= 1
 BENCHTIME ?= 1s
 
-.PHONY: all build test race bench vet
+.PHONY: all build test race race-core bench vet ci
 
 all: build test
+
+# What CI runs (.github/workflows/ci.yml): vet + build + full tests,
+# then the concurrency-heavy packages under the race detector.
+ci: vet build test race-core
+
+race-core:
+	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht
 
 build:
 	$(GO) build ./...

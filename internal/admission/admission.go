@@ -1,0 +1,727 @@
+// Package admission puts a bounded FIFO admission queue in front of a
+// CJOIN pipeline, converting overload into predictable queueing.
+//
+// The pipeline itself admits at most maxConc concurrent queries and
+// hard-fails the rest (core.ErrTooManyQueries). That is the right
+// behavior for the operator — the bit-vector width is fixed at startup —
+// but a serving tier wants the paper's actual promise: under hundreds of
+// concurrent ad-hoc queries, response time grows predictably instead of
+// queries failing (§6.2.2). The Queue accepts every query up to a bound,
+// dispatches them to the pipeline strictly in arrival order as slots free
+// up, and makes the wait observable: a queued query has a position, a
+// wait time so far, and — combined with the pipeline's §3.2.3 progress
+// indicators — a meaningful completion estimate.
+//
+// Admission order is strict FIFO across clients, which is also the
+// fairness policy: no query can be overtaken while it waits. Per-client
+// counters in Stats expose how capacity was actually shared.
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+)
+
+var (
+	// ErrQueueFull is returned by Submit when the waiting line is at
+	// Config.MaxQueue.
+	ErrQueueFull = errors.New("admission: queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("admission: queue closed")
+	// ErrDeadlineExceeded fails a ticket whose queue wait passed its
+	// deadline before a pipeline slot freed up.
+	ErrDeadlineExceeded = errors.New("admission: queue-wait deadline exceeded")
+)
+
+// Config tunes a Queue. The zero value takes defaults from the pipeline.
+type Config struct {
+	// MaxQueue bounds the number of queries waiting for a slot (beyond
+	// the maxConc already running). Default 8 * maxConc.
+	MaxQueue int
+	// MaxWait is the default per-query queue-wait deadline; a query
+	// still waiting after MaxWait fails with ErrDeadlineExceeded.
+	// Zero means wait indefinitely.
+	MaxWait time.Duration
+}
+
+// State is a ticket's lifecycle position.
+type State int32
+
+const (
+	// StateQueued: waiting for a pipeline slot.
+	StateQueued State = iota
+	// StateAdmitting: popped from the queue, Pipeline.Submit in flight.
+	StateAdmitting
+	// StateRunning: registered with the pipeline (Handle available).
+	StateRunning
+	// StateDone: completed with results.
+	StateDone
+	// StateFailed: submission or execution error.
+	StateFailed
+	// StateCanceled: abandoned via Cancel.
+	StateCanceled
+	// StateExpired: queue-wait deadline passed before admission.
+	StateExpired
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateAdmitting:
+		return "admitting"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	case StateExpired:
+		return "expired"
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateExpired:
+		return true
+	}
+	return false
+}
+
+// Options customizes one submission.
+type Options struct {
+	// Client attributes the query in fairness accounting; empty maps to
+	// "default".
+	Client string
+	// MaxWait overrides Config.MaxWait for this query; negative disables
+	// the deadline.
+	MaxWait time.Duration
+}
+
+// Ticket tracks one query from enqueue to completion.
+type Ticket struct {
+	q      *Queue
+	bound  *query.Bound
+	client string
+
+	enqueued time.Time
+	timer    *time.Timer
+
+	mu            sync.Mutex
+	state         State
+	handle        *core.Handle
+	result        core.QueryResult
+	waited        time.Duration // time spent queued, fixed at admission
+	cancelPending bool
+	expirePending bool
+
+	done chan struct{}
+}
+
+// Queue is the admission tier over one pipeline.
+type Queue struct {
+	p   *core.Pipeline
+	cfg Config
+
+	// tokens holds one entry per pipeline slot; the dispatcher takes one
+	// before Submit and a per-query watcher returns it once the slot is
+	// recycled (Handle.Done).
+	tokens   chan struct{}
+	wake     chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	mu     sync.Mutex
+	fifo   []*Ticket
+	closed bool
+
+	running     int
+	outstanding int // queued + admitting + running tickets
+
+	stats     coreStats
+	perClient map[string]*ClientStats
+}
+
+type coreStats struct {
+	submitted, admitted, completed, failed, canceled, expired, rejected int64
+	totalWait, maxWait                                                  time.Duration
+	maxDepth                                                            int
+}
+
+// ClientStats is the fairness ledger for one client.
+type ClientStats struct {
+	Submitted int64
+	Admitted  int64
+	Finished  int64
+	TotalWait time.Duration
+	MaxWait   time.Duration
+}
+
+// Stats is a point-in-time snapshot of queue activity.
+type Stats struct {
+	// Depth is the number of queries currently waiting.
+	Depth int
+	// Running is the number of admitted, not-yet-recycled queries.
+	Running int
+	// Capacity is the pipeline's maxConc.
+	Capacity int
+	// MaxQueue is the waiting-line bound.
+	MaxQueue int
+
+	Submitted int64
+	Admitted  int64
+	Completed int64
+	Failed    int64
+	Canceled  int64
+	Expired   int64
+	Rejected  int64
+
+	// MaxDepth is the high-water mark of Depth.
+	MaxDepth int
+	// MeanWait and MaxWait summarize the queue wait of admitted queries.
+	MeanWait time.Duration
+	MaxWait  time.Duration
+
+	// PerClient breaks the ledger down by Options.Client.
+	PerClient map[string]ClientStats
+}
+
+// NewQueue starts the admission tier over p. The pipeline must already be
+// started.
+func NewQueue(p *core.Pipeline, cfg Config) *Queue {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 8 * p.MaxConcurrent()
+	}
+	q := &Queue{
+		p:         p,
+		cfg:       cfg,
+		tokens:    make(chan struct{}, p.MaxConcurrent()),
+		wake:      make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		perClient: make(map[string]*ClientStats),
+	}
+	for i := 0; i < p.MaxConcurrent(); i++ {
+		q.tokens <- struct{}{}
+	}
+	go q.dispatch()
+	return q
+}
+
+// Submit enqueues a bound query and returns its ticket immediately; the
+// query starts executing once a pipeline slot frees up in FIFO order.
+func (q *Queue) Submit(b *query.Bound) (*Ticket, error) {
+	return q.SubmitOpts(b, Options{})
+}
+
+// SubmitOpts is Submit with per-query options.
+func (q *Queue) SubmitOpts(b *query.Bound, opts Options) (*Ticket, error) {
+	client := opts.Client
+	if client == "" {
+		client = "default"
+	}
+	t := &Ticket{
+		q:        q,
+		bound:    b,
+		client:   client,
+		enqueued: time.Now(),
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+	maxWait := q.cfg.MaxWait
+	if opts.MaxWait != 0 {
+		maxWait = opts.MaxWait
+	}
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(q.fifo) >= q.cfg.MaxQueue {
+		q.stats.rejected++
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	q.fifo = append(q.fifo, t)
+	if d := len(q.fifo); d > q.stats.maxDepth {
+		q.stats.maxDepth = d
+	}
+	q.stats.submitted++
+	q.clientLocked(client).Submitted++
+	q.outstanding++
+	q.mu.Unlock()
+
+	if maxWait > 0 {
+		t.mu.Lock()
+		t.timer = time.AfterFunc(maxWait, t.expire)
+		t.mu.Unlock()
+	}
+	q.signal()
+	return t, nil
+}
+
+func (q *Queue) clientLocked(name string) *ClientStats {
+	cs := q.perClient[name]
+	if cs == nil {
+		cs = &ClientStats{}
+		q.perClient[name] = cs
+	}
+	return cs
+}
+
+func (q *Queue) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// next pops the oldest still-queued ticket, blocking until one arrives.
+// It returns nil once the queue is closed and drained.
+func (q *Queue) next() *Ticket {
+	for {
+		q.mu.Lock()
+		for len(q.fifo) > 0 {
+			t := q.fifo[0]
+			q.fifo = q.fifo[1:]
+			if t.beginAdmit() {
+				q.mu.Unlock()
+				return t
+			}
+			// Canceled or expired while waiting; already terminal.
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil
+		}
+		select {
+		case <-q.wake:
+		case <-q.stopCh:
+			return nil
+		}
+	}
+}
+
+// dispatch is the admission loop: strict FIFO, one pipeline slot per
+// running query. The slot token is acquired before a ticket leaves the
+// queue, so a ticket waiting for capacity stays Queued — cancellable and
+// subject to its queue-wait deadline — until the moment it can actually
+// be admitted.
+func (q *Queue) dispatch() {
+	// On exit, fail every ticket still waiting: the dispatcher is the
+	// only goroutine that can admit them. The normal drain path exits
+	// with an empty line; this matters when Close's ctx expires mid-work.
+	defer func() {
+		for {
+			q.mu.Lock()
+			if len(q.fifo) == 0 {
+				q.mu.Unlock()
+				return
+			}
+			t := q.fifo[0]
+			q.fifo = q.fifo[1:]
+			q.mu.Unlock()
+			if t.beginAdmit() {
+				t.fail(ErrClosed)
+			}
+		}
+	}()
+	for {
+		select {
+		case <-q.tokens:
+		case <-q.stopCh:
+			return
+		}
+		t := q.next()
+		if t == nil {
+			return
+		}
+		h, err := q.p.Submit(t.bound)
+		if err != nil {
+			q.tokens <- struct{}{}
+			if errors.Is(err, core.ErrTooManyQueries) {
+				// A submitter outside the queue holds slots; retry after
+				// a short pause without giving up FIFO order. Keep the
+				// ticket in hand during the backoff so a shutdown can
+				// finalize it instead of abandoning it non-terminal.
+				select {
+				case <-time.After(2 * time.Millisecond):
+					t.requeueFront()
+				case <-q.stopCh:
+					t.fail(ErrClosed)
+				}
+				continue
+			}
+			t.fail(err)
+			continue
+		}
+		t.run(h)
+		go q.watch(t, h)
+	}
+}
+
+// watch delivers the ticket's result and returns the slot token once the
+// pipeline has recycled the slot.
+func (q *Queue) watch(t *Ticket, h *core.Handle) {
+	res := h.Wait()
+	t.complete(res)
+	<-h.Done()
+	q.tokens <- struct{}{}
+	q.mu.Lock()
+	q.running--
+	q.mu.Unlock()
+}
+
+// Close stops admission and drains: new Submits fail with ErrClosed,
+// already-queued queries still run to completion, and Close returns once
+// every accepted query has reached a terminal state. If ctx expires
+// first, the remaining queued tickets are canceled and ctx.Err() is
+// returned.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.signal()
+
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		q.mu.Lock()
+		idle := q.outstanding == 0
+		q.mu.Unlock()
+		if idle {
+			q.stopOnce.Do(func() { close(q.stopCh) })
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			q.mu.Lock()
+			waiting := append([]*Ticket(nil), q.fifo...)
+			q.mu.Unlock()
+			for _, t := range waiting {
+				t.Cancel()
+			}
+			q.stopOnce.Do(func() { close(q.stopCh) })
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{
+		Depth:     len(q.fifo),
+		Running:   q.running,
+		Capacity:  q.p.MaxConcurrent(),
+		MaxQueue:  q.cfg.MaxQueue,
+		Submitted: q.stats.submitted,
+		Admitted:  q.stats.admitted,
+		Completed: q.stats.completed,
+		Failed:    q.stats.failed,
+		Canceled:  q.stats.canceled,
+		Expired:   q.stats.expired,
+		Rejected:  q.stats.rejected,
+		MaxDepth:  q.stats.maxDepth,
+		MaxWait:   q.stats.maxWait,
+		PerClient: make(map[string]ClientStats, len(q.perClient)),
+	}
+	if q.stats.admitted > 0 {
+		s.MeanWait = q.stats.totalWait / time.Duration(q.stats.admitted)
+	}
+	for name, cs := range q.perClient {
+		s.PerClient[name] = *cs
+	}
+	return s
+}
+
+// --- ticket state machine -------------------------------------------------
+
+// beginAdmit moves a queued ticket to Admitting; it fails for tickets
+// canceled or expired while waiting.
+func (t *Ticket) beginAdmit() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateQueued {
+		return false
+	}
+	t.state = StateAdmitting
+	return true
+}
+
+// requeueFront puts an Admitting ticket back at the head of the line
+// after a transient submission failure, honoring any cancel or deadline
+// that fired while the ticket was in the dispatcher's hands. The whole
+// decision runs under t.mu so it cannot race expire or Cancel.
+func (t *Ticket) requeueFront() {
+	t.mu.Lock()
+	if t.state != StateAdmitting {
+		t.mu.Unlock()
+		return
+	}
+	switch {
+	case t.cancelPending:
+		timer := t.transitionLocked(StateCanceled, core.ErrQueryCanceled)
+		t.mu.Unlock()
+		t.finishWaiting(timer, StateCanceled)
+	case t.expirePending:
+		timer := t.transitionLocked(StateExpired, ErrDeadlineExceeded)
+		t.mu.Unlock()
+		t.finishWaiting(timer, StateExpired)
+	default:
+		t.state = StateQueued
+		t.mu.Unlock()
+		t.q.mu.Lock()
+		t.q.fifo = append([]*Ticket{t}, t.q.fifo...)
+		t.q.mu.Unlock()
+		t.q.signal()
+	}
+}
+
+// run records a successful admission.
+func (t *Ticket) run(h *core.Handle) {
+	waited := time.Since(t.enqueued)
+	t.mu.Lock()
+	t.handle = h
+	t.state = StateRunning
+	t.waited = waited
+	cancelPending := t.cancelPending
+	timer := t.timer
+	t.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+
+	q := t.q
+	q.mu.Lock()
+	q.running++
+	q.stats.admitted++
+	q.stats.totalWait += waited
+	if waited > q.stats.maxWait {
+		q.stats.maxWait = waited
+	}
+	cs := q.clientLocked(t.client)
+	cs.Admitted++
+	cs.TotalWait += waited
+	if waited > cs.MaxWait {
+		cs.MaxWait = waited
+	}
+	q.mu.Unlock()
+
+	if cancelPending {
+		h.Cancel()
+	}
+}
+
+// complete records the pipeline's result for a Running ticket.
+func (t *Ticket) complete(res core.QueryResult) {
+	t.mu.Lock()
+	t.result = res
+	switch {
+	case errors.Is(res.Err, core.ErrQueryCanceled):
+		t.state = StateCanceled
+	case res.Err != nil:
+		t.state = StateFailed
+	default:
+		t.state = StateDone
+	}
+	state := t.state
+	t.mu.Unlock()
+	t.q.settle(t, state)
+	close(t.done)
+}
+
+// fail terminates a never-admitted ticket.
+func (t *Ticket) fail(err error) {
+	t.mu.Lock()
+	if t.state.Terminal() {
+		t.mu.Unlock()
+		return
+	}
+	t.state = StateFailed
+	t.result = core.QueryResult{Err: err}
+	timer := t.timer
+	t.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	t.q.settle(t, StateFailed)
+	close(t.done)
+}
+
+// expire is the queue-wait deadline callback. The state decision happens
+// in one critical section: a Queued ticket transitions to Expired on the
+// spot, while a deadline firing during the short Admitting window is
+// recorded — if the admission goes through the query runs (the wait is
+// over either way), but if the dispatcher requeues the ticket the
+// deadline takes effect.
+func (t *Ticket) expire() {
+	t.mu.Lock()
+	switch t.state {
+	case StateQueued:
+		timer := t.transitionLocked(StateExpired, ErrDeadlineExceeded)
+		t.mu.Unlock()
+		t.finishWaiting(timer, StateExpired)
+	case StateAdmitting:
+		t.expirePending = true
+		t.mu.Unlock()
+	default:
+		t.mu.Unlock()
+	}
+}
+
+// Cancel abandons the query. A queued ticket terminates immediately; a
+// running one is canceled in the pipeline (Handle.Cancel) and its slot is
+// recycled at the next batch boundary. Cancel reports whether this call
+// initiated the cancellation.
+func (t *Ticket) Cancel() bool {
+	t.mu.Lock()
+	switch t.state {
+	case StateQueued:
+		timer := t.transitionLocked(StateCanceled, core.ErrQueryCanceled)
+		t.mu.Unlock()
+		t.finishWaiting(timer, StateCanceled)
+		return true
+	case StateAdmitting:
+		// Between queue and pipeline: mark it and let run/requeueFront
+		// finish the job.
+		if t.cancelPending {
+			t.mu.Unlock()
+			return false
+		}
+		t.cancelPending = true
+		t.mu.Unlock()
+		return true
+	case StateRunning:
+		h := t.handle
+		t.mu.Unlock()
+		return h.Cancel()
+	default:
+		t.mu.Unlock()
+		return false
+	}
+}
+
+// transitionLocked records the terminal state of a ticket that never ran.
+// Callers hold t.mu (so the decision and the transition are one critical
+// section) and must follow up with finishWaiting after unlocking.
+func (t *Ticket) transitionLocked(st State, err error) *time.Timer {
+	t.state = st
+	t.result = core.QueryResult{Err: err}
+	t.waited = time.Since(t.enqueued)
+	return t.timer
+}
+
+// finishWaiting completes the bookkeeping for a ticket terminated while
+// waiting. Runs without t.mu held: the dispatcher locks q.mu before t.mu
+// (next -> beginAdmit), so nesting them the other way would deadlock.
+// The fifo removal keeps dead tickets from consuming MaxQueue capacity
+// or inflating Depth/QueuePos; if the dispatcher holds the ticket the
+// scan is a no-op and requeueFront observes the terminal state.
+func (t *Ticket) finishWaiting(timer *time.Timer, st State) {
+	if timer != nil {
+		timer.Stop()
+	}
+	t.q.mu.Lock()
+	for i, w := range t.q.fifo {
+		if w == t {
+			t.q.fifo = append(t.q.fifo[:i], t.q.fifo[i+1:]...)
+			break
+		}
+	}
+	t.q.mu.Unlock()
+	t.q.settle(t, st)
+	close(t.done)
+}
+
+// settle updates queue counters for a ticket reaching a terminal state.
+func (q *Queue) settle(t *Ticket, st State) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.outstanding--
+	switch st {
+	case StateDone:
+		q.stats.completed++
+		q.clientLocked(t.client).Finished++
+	case StateFailed:
+		q.stats.failed++
+		q.clientLocked(t.client).Finished++
+	case StateCanceled:
+		q.stats.canceled++
+		q.clientLocked(t.client).Finished++
+	case StateExpired:
+		q.stats.expired++
+		q.clientLocked(t.client).Finished++
+	}
+}
+
+// --- ticket observers -----------------------------------------------------
+
+// State returns the ticket's lifecycle position.
+func (t *Ticket) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Handle returns the pipeline handle, or nil while the query waits.
+func (t *Ticket) Handle() *core.Handle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handle
+}
+
+// Bound returns the ticket's bound query.
+func (t *Ticket) Bound() *query.Bound { return t.bound }
+
+// Client returns the fairness-accounting client name.
+func (t *Ticket) Client() string { return t.client }
+
+// Done returns a channel closed when the ticket reaches a terminal state.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the ticket is terminal and returns the result.
+func (t *Ticket) Wait() core.QueryResult {
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.result
+}
+
+// QueueWait returns how long the query has waited so far; once the
+// ticket leaves the queue (admitted, canceled, or expired) it returns
+// the final wait.
+func (t *Ticket) QueueWait() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == StateQueued || t.state == StateAdmitting {
+		return time.Since(t.enqueued)
+	}
+	return t.waited
+}
+
+// QueuePos returns the ticket's 1-based position in the waiting line, or
+// 0 once it left the queue.
+func (t *Ticket) QueuePos() int {
+	t.q.mu.Lock()
+	defer t.q.mu.Unlock()
+	for i, w := range t.q.fifo {
+		if w == t {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -54,3 +54,41 @@ func BenchmarkAllocatorAllocFree(b *testing.B) {
 		a.Free(s)
 	}
 }
+
+// Width sweep over the unrolled 4-word fast path: 128 and 512 bits
+// alongside the 256-bit benchmarks above, for maxConc > 64 pipelines.
+func benchAnd(b *testing.B, nbits int) {
+	x, y := New(nbits), New(nbits)
+	y.Fill(nbits * 3 / 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkAnd128(b *testing.B) { benchAnd(b, 128) }
+func BenchmarkAnd512(b *testing.B) { benchAnd(b, 512) }
+
+func benchAndNotIsZero(b *testing.B, nbits int) {
+	x, mask := New(nbits), New(nbits)
+	x.Set(nbits / 4)
+	mask.Fill(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndNotIsZero(mask)
+	}
+}
+
+func BenchmarkAndNotIsZero128(b *testing.B) { benchAndNotIsZero(b, 128) }
+func BenchmarkAndNotIsZero512(b *testing.B) { benchAndNotIsZero(b, 512) }
+
+func benchIsZero(b *testing.B, nbits int) {
+	v := New(nbits)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.IsZero()
+	}
+}
+
+func BenchmarkIsZero256(b *testing.B) { benchIsZero(b, 256) }
+func BenchmarkIsZero512(b *testing.B) { benchIsZero(b, 512) }

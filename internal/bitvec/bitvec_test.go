@@ -291,3 +291,66 @@ func TestUint64FastPath(t *testing.T) {
 		t.Fatalf("register AND diverges from Vec.And: %x", v.Uint64())
 	}
 }
+
+// TestUnrolledTailWidths drives every binary op across widths that
+// exercise the 4-word unrolled block, the scalar tail, and both together
+// (1..9 words), against a bit-by-bit reference.
+func TestUnrolledTailWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for words := 1; words <= 9; words++ {
+		nbits := words * 64
+		for trial := 0; trial < 50; trial++ {
+			a, b := New(nbits), New(nbits)
+			for i := 0; i < nbits; i++ {
+				if rng.Intn(3) == 0 {
+					a.Set(i)
+				}
+				if rng.Intn(3) == 0 {
+					b.Set(i)
+				}
+			}
+			wantAnd, wantAndNot, wantOr := New(nbits), New(nbits), New(nbits)
+			andZero, andNotZero, zero := true, true, true
+			for i := 0; i < nbits; i++ {
+				av, bv := a.Get(i), b.Get(i)
+				if av && bv {
+					wantAnd.Set(i)
+					andZero = false
+				}
+				if av && !bv {
+					wantAndNot.Set(i)
+					andNotZero = false
+				}
+				if av || bv {
+					wantOr.Set(i)
+				}
+				if av {
+					zero = false
+				}
+			}
+			if got := a.AndIsZero(b); got != andZero {
+				t.Fatalf("words=%d AndIsZero=%v want %v", words, got, andZero)
+			}
+			if got := a.AndNotIsZero(b); got != andNotZero {
+				t.Fatalf("words=%d AndNotIsZero=%v want %v", words, got, andNotZero)
+			}
+			if got := a.IsZero(); got != zero {
+				t.Fatalf("words=%d IsZero=%v want %v", words, got, zero)
+			}
+			for op, want := range map[string]Vec{"and": wantAnd, "andnot": wantAndNot, "or": wantOr} {
+				c := a.Clone()
+				switch op {
+				case "and":
+					c.And(b)
+				case "andnot":
+					c.AndNot(b)
+				case "or":
+					c.Or(b)
+				}
+				if !c.Equal(want) {
+					t.Fatalf("words=%d %s mismatch", words, op)
+				}
+			}
+		}
+	}
+}

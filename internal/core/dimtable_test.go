@@ -204,7 +204,7 @@ func TestFilterBatchWidePath(t *testing.T) {
 		const maxConc = 192
 		star := miniStar(t, 10)
 		ds := newDimState(star, 0, maxConc, legacyMap)
-		hi := maxConc - 1 // slot in the third word
+		hi := maxConc - 1                               // slot in the third word
 		if err := ds.admit(hi, predLt(1)); err != nil { // keys 0, 5
 			t.Fatal(err)
 		}

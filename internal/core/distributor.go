@@ -100,6 +100,7 @@ func (d *distributor) control(c *control) {
 		} else {
 			results := rq.aggr.Results()
 			query.SortResults(results, rq.q.OrderBy)
+			results = rq.q.ApplyLimit(results)
 			rq.deliver(results, nil)
 		}
 		// Hand the slot to the pipeline manager for Algorithm 2 cleanup.

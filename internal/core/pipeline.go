@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -17,6 +18,9 @@ import (
 // already in use.
 var ErrTooManyQueries = errors.New("core: maximum concurrent queries reached")
 
+// ErrQueryCanceled is delivered to a query abandoned via Handle.Cancel.
+var ErrQueryCanceled = errors.New("core: query canceled")
+
 // QueryResult is the final output of one registered query.
 type QueryResult struct {
 	Rows []agg.Result
@@ -25,6 +29,7 @@ type QueryResult struct {
 
 // runningQuery is the pipeline's bookkeeping for one registered query.
 type runningQuery struct {
+	p    *Pipeline
 	slot int
 	q    *query.Bound
 	aggr agg.Aggregator
@@ -32,6 +37,7 @@ type runningQuery struct {
 
 	resultCh  chan QueryResult
 	delivered atomic.Bool
+	canceled  atomic.Bool
 
 	// Preprocessor-owned scan bookkeeping.
 	startPos  int64
@@ -45,7 +51,15 @@ type runningQuery struct {
 	pagesDone  atomic.Int64
 
 	submitted time.Time
-	cleaned   chan struct{}
+	// cleaned closes once the slot is recycled. Closed via markCleaned
+	// only: Algorithm 2 cleanup, a SubmitCtx rollback, and the Stop
+	// sweep can race on shutdown.
+	cleaned     chan struct{}
+	cleanedOnce sync.Once
+}
+
+func (rq *runningQuery) markCleaned() {
+	rq.cleanedOnce.Do(func() { close(rq.cleaned) })
 }
 
 func (rq *runningQuery) deliver(rows []agg.Result, err error) {
@@ -70,6 +84,39 @@ func (h *Handle) Slot() int { return h.rq.slot }
 // its results.
 func (h *Handle) Wait() QueryResult { return <-h.rq.resultCh }
 
+// Done returns a channel closed once the query's slot has been fully
+// recycled (Algorithm 2 cleanup finished). The result is always delivered
+// before Done closes, so Done doubles as a "slot free" signal for
+// admission control layered above the pipeline.
+func (h *Handle) Done() <-chan struct{} { return h.rq.cleaned }
+
+// Canceled reports whether the query was abandoned via Cancel.
+func (h *Handle) Canceled() bool { return h.rq.canceled.Load() }
+
+// Cancel abandons the query without tearing down the pipeline: the result
+// ErrQueryCanceled is delivered immediately, and the Preprocessor retires
+// the query at the next page boundary, after which the usual end-of-query
+// control tuple frees the bit-vector slot for reuse (Algorithm 2). Cancel
+// returns true if this call canceled the query; false if the query had
+// already completed, failed, or been canceled.
+func (h *Handle) Cancel() bool {
+	rq := h.rq
+	if !rq.delivered.CompareAndSwap(false, true) {
+		return false
+	}
+	rq.canceled.Store(true)
+	rq.resultCh <- QueryResult{Err: ErrQueryCanceled}
+	// Hand the slot retirement to the Preprocessor. The channel's
+	// capacity is maxConc and each query cancels at most once (the CAS
+	// above), so the send never blocks on a healthy pipeline; the stop
+	// case covers shutdown races.
+	select {
+	case rq.p.pp.cancels <- rq:
+	case <-rq.p.stopCh:
+	}
+	return true
+}
+
 // PagesScanned returns the number of fact pages the continuous scan has
 // charged to this query so far.
 func (h *Handle) PagesScanned() int64 { return h.rq.pagesDone.Load() }
@@ -81,7 +128,7 @@ func (h *Handle) PagesScanned() int64 { return h.rq.pagesDone.Load() }
 func (h *Handle) ETA() (time.Duration, bool) {
 	done := h.rq.pagesDone.Load()
 	total := h.rq.pagesTotal.Load()
-	if total > 0 && done >= total {
+	if h.rq.delivered.Load() || (total > 0 && done >= total) {
 		return 0, true
 	}
 	if done == 0 || total == 0 {
@@ -204,6 +251,11 @@ func (p *Pipeline) Stop() {
 	p.pmMu.Lock()
 	for _, rq := range p.live {
 		rq.deliver(nil, ErrPipelineStopped)
+		// Algorithm 2 cleanup will never run for these queries (the
+		// manager loop has exited), so complete the Done contract here.
+		// A SubmitCtx rollback on the submitter's goroutine can still
+		// race this sweep; markCleaned is idempotent.
+		rq.markCleaned()
 	}
 	p.pmMu.Unlock()
 }
@@ -241,10 +293,25 @@ func (p *Pipeline) managerLoop() {
 // Submit registers a bound star query with the operator (Algorithm 1) and
 // returns a handle delivering its results after one full scan cycle.
 func (p *Pipeline) Submit(q *query.Bound) (*Handle, error) {
-	return p.submit(q, nil)
+	return p.submitCtx(context.Background(), q, nil)
+}
+
+// SubmitCtx is Submit with a context: a context canceled before the query
+// is installed aborts the admission (rolling back dimension-table updates
+// and the slot), and one canceled during the short installation stall
+// cancels the freshly admitted query. Either way the error is ctx.Err().
+func (p *Pipeline) SubmitCtx(ctx context.Context, q *query.Bound) (*Handle, error) {
+	return p.submitCtx(ctx, q, nil)
 }
 
 func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*Handle, error) {
+	return p.submitCtx(context.Background(), q, sink)
+}
+
+func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.stopped.Load() {
 		return nil, ErrPipelineStopped
 	}
@@ -263,6 +330,7 @@ func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*Handle, error) {
 		return nil, ErrTooManyQueries
 	}
 	rq := &runningQuery{
+		p:         p,
 		slot:      slot,
 		q:         q,
 		sink:      sink,
@@ -313,15 +381,27 @@ func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*Handle, error) {
 	done := make(chan struct{})
 	select {
 	case p.pp.cmds <- ppCmd{rq: rq, done: done}:
+	case <-ctx.Done():
+		// The Preprocessor never saw the query; undo Algorithm 1 directly.
+		p.cleanup(rq)
+		return nil, ctx.Err()
 	case <-p.stopCh:
 		return nil, ErrPipelineStopped
 	}
+	// The installation command is in flight and the stall window is
+	// bounded (one page at most), so wait for it rather than abandoning a
+	// half-installed query; a context fired meanwhile cancels cleanly.
 	select {
 	case <-done:
 	case <-p.stopCh:
 		return nil, ErrPipelineStopped
 	}
-	return &Handle{rq: rq, Submission: time.Since(start)}, nil
+	h := &Handle{rq: rq, Submission: time.Since(start)}
+	if err := ctx.Err(); err != nil {
+		h.Cancel()
+		return nil, err
+	}
+	return h, nil
 }
 
 // neededPartitions computes which fact partitions the query must scan by
@@ -378,7 +458,7 @@ func (p *Pipeline) cleanup(rq *runningQuery) {
 	delete(p.live, rq.slot)
 	p.ids.Free(rq.slot)
 	p.pmMu.Unlock()
-	close(rq.cleaned)
+	rq.markCleaned()
 }
 
 // rebuildFilterOrderLocked recomputes the active-filter list, preserving
@@ -401,6 +481,10 @@ func (p *Pipeline) rebuildFilterOrderLocked() {
 	}
 	p.filterOrder.Store(&order)
 }
+
+// MaxConcurrent returns the pipeline's maxConc bound: the number of
+// query slots (and the width of every bit-vector).
+func (p *Pipeline) MaxConcurrent() int { return p.cfg.MaxConcurrent }
 
 // ActiveQueries returns the number of queries currently registered.
 func (p *Pipeline) ActiveQueries() int {

@@ -29,8 +29,13 @@ type preprocessor struct {
 	p    *Pipeline
 	scan *factScan
 	cmds chan ppCmd
-	out  chan *batch
-	stop <-chan struct{}
+	// cancels carries queries abandoned via Handle.Cancel; the
+	// Preprocessor retires them at the next page boundary. Capacity is
+	// maxConc (each live query cancels at most once), so senders never
+	// block on a healthy pipeline.
+	cancels chan *runningQuery
+	out     chan *batch
+	stop    <-chan struct{}
 
 	seq    uint64
 	active []*runningQuery // registered queries, registration order
@@ -54,6 +59,7 @@ func newPreprocessor(p *Pipeline) *preprocessor {
 		p:        p,
 		scan:     newFactScan(p.star, p.cfg.FactSource),
 		cmds:     make(chan ppCmd),
+		cancels:  make(chan *runningQuery, p.cfg.MaxConcurrent),
 		out:      make(chan *batch, p.cfg.QueueLen),
 		stop:     p.stopCh,
 		baseMask: bitvec.New(p.cfg.MaxConcurrent),
@@ -71,6 +77,8 @@ func (pp *preprocessor) run() {
 			select {
 			case cmd := <-pp.cmds:
 				pp.register(cmd)
+			case rq := <-pp.cancels:
+				pp.retire(rq)
 			case <-pp.stop:
 				return
 			}
@@ -79,6 +87,9 @@ func (pp *preprocessor) run() {
 		select {
 		case cmd := <-pp.cmds:
 			pp.register(cmd)
+			continue
+		case rq := <-pp.cancels:
+			pp.retire(rq)
 			continue
 		case <-pp.stop:
 			return
@@ -167,6 +178,21 @@ func (pp *preprocessor) register(cmd ppCmd) {
 	// empty fact table) completes immediately.
 	if rq.pagesLeft == 0 || (!pp.scan.static && pp.scan.totalPages() == 0) {
 		pp.finish(rq)
+	}
+}
+
+// retire handles a canceled query: if it is still part of the continuous
+// scan it is finalized early, exactly as if its completion point had been
+// reached — the end-of-query control tuple flows through the pipeline in
+// order, the Distributor's deliver is an idempotent no-op (Cancel already
+// delivered ErrQueryCanceled), and Algorithm 2 recycles the slot. A query
+// that already finished naturally is left alone.
+func (pp *preprocessor) retire(rq *runningQuery) {
+	for _, q := range pp.active {
+		if q == rq {
+			pp.finish(rq)
+			return
+		}
 	}
 }
 

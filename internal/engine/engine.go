@@ -128,7 +128,7 @@ func (e *Engine) Execute(q *query.Bound) ([]agg.Result, error) {
 	}
 	results := aggr.Results()
 	SortResults(results, q.OrderBy)
-	return results, nil
+	return q.ApplyLimit(results), nil
 }
 
 func (e *Engine) scanPartition(h *storage.HeapFile, q *query.Bound, tables []map[int64][]int64, aggr *agg.Hash, joined *expr.Joined, hasMVCC bool) error {

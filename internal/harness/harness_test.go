@@ -161,3 +161,24 @@ func TestAllLatencyPooling(t *testing.T) {
 		t.Fatalf("pooled stddev %v", all.StdDev)
 	}
 }
+
+func TestOverloadCellQueuesBeyondCapacity(t *testing.T) {
+	env, err := NewEnv(Config{FactRowsPerSF: 1200, Queries: 8, MaxConcurrent: 2, Workers: 2,
+		Disk: disk.Config{SeqBytesPerSec: 200 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := env.RunOverloadCell(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rejected != 0 {
+		t.Fatalf("rejections under overload: %+v", m)
+	}
+	if m.Completed != 8 {
+		t.Fatalf("completed %d of 8", m.Completed)
+	}
+	if m.MaxDepth == 0 {
+		t.Fatalf("no queueing at 4x capacity: %+v", m)
+	}
+}

@@ -78,6 +78,10 @@ type Bound struct {
 	// for select item i, the output position (group col or agg).
 	OrderBy []OrderSpec
 
+	// Limit caps the number of result rows delivered, applied after
+	// ORDER BY; -1 means no limit.
+	Limit int
+
 	// Snapshot is the transaction snapshot the query runs under.
 	Snapshot txn.Snapshot
 
@@ -154,6 +158,7 @@ func Bind(stmt *sql.SelectStmt, schema *catalog.Star) (*Bound, error) {
 		DimRefs:  make([]bool, len(schema.Dims)),
 		DimPreds: make([]expr.Node, len(schema.Dims)),
 		FactPred: expr.TRUE,
+		Limit:    -1,
 	}
 	for i := range out.DimPreds {
 		out.DimPreds[i] = expr.TRUE
@@ -299,7 +304,21 @@ func Bind(stmt *sql.SelectStmt, schema *catalog.Star) (*Bound, error) {
 		}
 		out.OrderBy = append(out.OrderBy, OrderSpec{Col: pos, Desc: o.Desc})
 	}
+	if stmt.HasLimit {
+		if stmt.Limit < 0 {
+			return nil, fmt.Errorf("query: negative LIMIT %d", stmt.Limit)
+		}
+		out.Limit = int(stmt.Limit)
+	}
 	return out, nil
+}
+
+// ApplyLimit truncates sorted results to the query's LIMIT, if any.
+func (b *Bound) ApplyLimit(rs []agg.Result) []agg.Result {
+	if b.Limit >= 0 && len(rs) > b.Limit {
+		return rs[:b.Limit]
+	}
+	return rs
 }
 
 func (bd *binder) tableOf(slot int) *catalog.Table {

@@ -67,7 +67,7 @@ func Execute(q *query.Bound) ([]agg.Result, error) {
 	}
 	results := aggr.Results()
 	engine.SortResults(results, q.OrderBy)
-	return results, nil
+	return q.ApplyLimit(results), nil
 }
 
 func readAll(h *storage.HeapFile) ([][]int64, error) {

@@ -1,0 +1,196 @@
+// Package client is the typed Go client for the cjoind HTTP API
+// (internal/server). It mirrors the in-process API shape: Submit returns
+// a Query handle with Status, Result (blocking), and Cancel.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cjoin/internal/server"
+)
+
+// Client talks to one cjoind server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying *http.Client (timeouts, transport).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at base (e.g. "http://127.0.0.1:8077").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cjoind: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// IsOverload reports whether the error is a 429 queue-full rejection.
+func (e *APIError) IsOverload() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeErr(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	return dec.Decode(out)
+}
+
+func decodeErr(resp *http.Response) error {
+	var er server.ErrorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(resp.Body).Decode(&er); err == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// SubmitOptions customizes one submission.
+type SubmitOptions struct {
+	// Client attributes the query in the server's fairness accounting.
+	Client string
+	// MaxWait bounds the admission-queue wait; negative disables the
+	// server default.
+	MaxWait time.Duration
+}
+
+// Query is a handle to one submitted query.
+type Query struct {
+	c *Client
+	// ID is the server-assigned query id.
+	ID string
+	// Initial is the status returned at submission time.
+	Initial server.QueryStatus
+}
+
+// Submit sends sql to the server and returns immediately with a handle;
+// under overload the query queues server-side.
+func (c *Client) Submit(ctx context.Context, sql string) (*Query, error) {
+	return c.SubmitOpts(ctx, sql, SubmitOptions{})
+}
+
+// SubmitOpts is Submit with options.
+func (c *Client) SubmitOpts(ctx context.Context, sql string, opts SubmitOptions) (*Query, error) {
+	req := server.SubmitRequest{
+		SQL:           sql,
+		Client:        opts.Client,
+		MaxWaitMillis: opts.MaxWait.Milliseconds(),
+	}
+	// Keep sub-millisecond intents intact on the millisecond wire field:
+	// any negative duration means "disable the server default" and any
+	// tiny positive one must not collapse to 0 ("use the default").
+	if opts.MaxWait < 0 {
+		req.MaxWaitMillis = -1
+	} else if opts.MaxWait > 0 && req.MaxWaitMillis == 0 {
+		req.MaxWaitMillis = 1
+	}
+	var st server.QueryStatus
+	if err := c.do(ctx, http.MethodPost, "/query", req, &st); err != nil {
+		return nil, err
+	}
+	return &Query{c: c, ID: st.ID, Initial: st}, nil
+}
+
+// Status fetches the query's live status: state, queue position,
+// progress, ETA, pages scanned.
+func (q *Query) Status(ctx context.Context) (server.QueryStatus, error) {
+	var st server.QueryStatus
+	err := q.c.do(ctx, http.MethodGet, "/query/"+q.ID, nil, &st)
+	return st, err
+}
+
+// Result blocks until the query completes and returns its decoded rows.
+// Numeric cells decode as json.Number; dictionary columns as string. A
+// query that failed, expired, or was canceled returns a ResultResponse
+// with Error set and no rows (err stays nil — the HTTP exchange worked).
+func (q *Query) Result(ctx context.Context) (server.ResultResponse, error) {
+	var res server.ResultResponse
+	err := q.c.do(ctx, http.MethodGet, "/query/"+q.ID+"/result", nil, &res)
+	return res, err
+}
+
+// Cancel abandons the query; it reports whether this call canceled it.
+func (q *Query) Cancel(ctx context.Context) (bool, error) {
+	var res server.CancelResponse
+	if err := q.c.do(ctx, http.MethodDelete, "/query/"+q.ID, nil, &res); err != nil {
+		return false, err
+	}
+	return res.Canceled, nil
+}
+
+// Stats fetches pipeline and admission statistics.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// Healthy reports whether /healthz answers 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil) == nil
+}
+
+// Exec is the convenience loop: submit and block for the result. A
+// server-side query failure is surfaced as an error.
+func (c *Client) Exec(ctx context.Context, sql string) (server.ResultResponse, error) {
+	q, err := c.Submit(ctx, sql)
+	if err != nil {
+		return server.ResultResponse{}, err
+	}
+	res, err := q.Result(ctx)
+	if err != nil {
+		return res, err
+	}
+	if res.Error != "" {
+		return res, fmt.Errorf("cjoind: query %s %s: %s", q.ID, res.State, res.Error)
+	}
+	return res, nil
+}

@@ -1,0 +1,432 @@
+// Package server exposes a CJOIN pipeline as a network service: the
+// query service layer that turns the reproduction from a library into an
+// operable system.
+//
+// The HTTP/JSON API is deliberately small and maps one-to-one onto the
+// paper's operational story:
+//
+//	POST   /query             submit SQL; 202 + query id (queues under overload)
+//	GET    /query/{id}        progress / ETA / pages scanned (§3.2.3)
+//	GET    /query/{id}/result block for the decoded rows
+//	DELETE /query/{id}        cancel a queued or running query
+//	GET    /stats             pipeline + admission counters
+//	GET    /healthz           liveness
+//
+// Submissions flow through an admission.Queue, so a full pipeline queues
+// instead of erroring; Drain performs a graceful shutdown (stop accepting,
+// let queued and running queries finish, quiesce the pipeline).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"cjoin/internal/admission"
+	"cjoin/internal/agg"
+	"cjoin/internal/catalog"
+	"cjoin/internal/core"
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+	"cjoin/internal/txn"
+)
+
+// Config tunes the service layer.
+type Config struct {
+	// Admission configures the admission queue bounds and default
+	// queue-wait deadline.
+	Admission admission.Config
+	// MaxTracked bounds the number of finished queries kept for status
+	// lookups; the oldest finished entries are evicted first.
+	// Default 4096.
+	MaxTracked int
+}
+
+// Server is the query service layer over one pipeline.
+type Server struct {
+	star *catalog.Star
+	txm  *txn.Manager
+	pipe *core.Pipeline
+	adq  *admission.Queue
+	cfg  Config
+
+	mu       sync.Mutex
+	queries  map[string]*served
+	order    []string // registration order, for eviction
+	seq      int64
+	draining bool
+
+	started time.Time
+}
+
+// served tracks one submitted query.
+type served struct {
+	id        string
+	sql       string
+	bound     *query.Bound
+	ticket    *admission.Ticket
+	submitted time.Time
+}
+
+// New builds the service layer. The pipeline must already be started;
+// the server creates and owns the admission queue in front of it.
+func New(star *catalog.Star, txm *txn.Manager, pipe *core.Pipeline, cfg Config) *Server {
+	if cfg.MaxTracked <= 0 {
+		cfg.MaxTracked = 4096
+	}
+	return &Server{
+		star:    star,
+		txm:     txm,
+		pipe:    pipe,
+		adq:     admission.NewQueue(pipe, cfg.Admission),
+		cfg:     cfg,
+		queries: make(map[string]*served),
+		started: time.Now(),
+	}
+}
+
+// Queue returns the underlying admission queue.
+func (s *Server) Queue() *admission.Queue { return s.adq }
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleSubmit)
+	mux.HandleFunc("GET /query/{id}", s.handleStatus)
+	mux.HandleFunc("GET /query/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Drain performs a graceful shutdown of the query layer: new submissions
+// are rejected with 503, queued and running queries finish (unless ctx
+// expires first, which cancels the still-queued ones), and the pipeline
+// is quiesced. The caller still owns pipeline Stop and the HTTP
+// listener.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	err := s.adq.Close(ctx)
+	s.pipe.Quiesce()
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, "missing \"sql\"")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	b, err := query.ParseBind(req.SQL, s.star)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b.Snapshot = s.txm.Begin()
+
+	ticket, err := s.adq.SubmitOpts(b, admission.Options{
+		Client:  req.Client,
+		MaxWait: time.Duration(req.MaxWaitMillis) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, admission.ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	case errors.Is(err, admission.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	sv := &served{
+		sql:       req.SQL,
+		bound:     b,
+		ticket:    ticket,
+		submitted: time.Now(),
+	}
+	s.mu.Lock()
+	s.seq++
+	sv.id = fmt.Sprintf("q-%06d", s.seq)
+	s.queries[sv.id] = sv
+	s.order = append(s.order, sv.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, s.status(sv, false))
+}
+
+// evictLocked drops the oldest finished queries beyond cfg.MaxTracked.
+func (s *Server) evictLocked() {
+	if len(s.queries) <= s.cfg.MaxTracked {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		sv := s.queries[id]
+		if sv == nil {
+			continue
+		}
+		if len(s.queries) > s.cfg.MaxTracked && sv.ticket.State().Terminal() {
+			delete(s.queries, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) lookup(r *http.Request) (*served, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.queries[r.PathValue("id")]
+	return sv, ok
+}
+
+// status builds the QueryStatus snapshot; withSQL controls echoing the
+// query text (status endpoint only, to keep submit responses lean).
+func (s *Server) status(sv *served, withSQL bool) QueryStatus {
+	t := sv.ticket
+	st := QueryStatus{
+		ID:              sv.id,
+		State:           t.State().String(),
+		QueueWaitMillis: t.QueueWait().Milliseconds(),
+		QueuePos:        t.QueuePos(),
+		Slot:            -1,
+	}
+	if withSQL {
+		st.SQL = sv.sql
+	}
+	if h := t.Handle(); h != nil {
+		st.Progress = h.Progress()
+		st.PagesScanned = h.PagesScanned()
+		st.SubmissionMicros = h.Submission.Microseconds()
+		st.Slot = h.Slot()
+		if eta, ok := h.ETA(); ok {
+			st.ETAKnown = true
+			st.ETAMillis = eta.Milliseconds()
+		}
+	}
+	if state := t.State(); state.Terminal() {
+		res := t.Wait()
+		if res.Err != nil {
+			st.Error = res.Err.Error()
+		}
+		if state == admission.StateDone {
+			st.Progress = 1
+			st.ETAKnown = true
+			st.ETAMillis = 0
+		}
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(sv, true))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	wait := r.Context().Done()
+	var timeout <-chan time.Time
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad timeout %q: %v", tq, err)
+			return
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case <-sv.ticket.Done():
+	case <-wait:
+		return // client went away
+	case <-timeout:
+		writeErr(w, http.StatusRequestTimeout, "query %s still %s", sv.id, sv.ticket.State())
+		return
+	}
+
+	res := sv.ticket.Wait()
+	out := ResultResponse{
+		ID:            sv.id,
+		State:         sv.ticket.State().String(),
+		ElapsedMillis: time.Since(sv.submitted).Milliseconds(),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	out.Columns = append(append([]string{}, sv.bound.GroupNames...), sv.bound.AggNames...)
+	out.Rows = DecodeResults(sv.bound, res.Rows)
+	out.RowCount = len(out.Rows)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	canceled := sv.ticket.Cancel()
+	writeJSON(w, http.StatusOK, CancelResponse{
+		ID:       sv.id,
+		Canceled: canceled,
+		State:    sv.ticket.State().String(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ps := s.pipe.Stats()
+	as := s.adq.Stats()
+
+	out := StatsResponse{
+		UptimeMillis: time.Since(s.started).Milliseconds(),
+		Pipeline: PipelineStats{
+			MaxConcurrent: s.pipe.MaxConcurrent(),
+			Active:        s.pipe.ActiveQueries(),
+			TuplesScanned: ps.TuplesScanned,
+			TuplesEmitted: ps.TuplesEmitted,
+			PagesRead:     ps.PagesRead,
+			ScanCycles:    ps.ScanCycles,
+			FilterOrder:   ps.FilterOrder,
+		},
+		Admission: AdmissionStats{
+			Depth:          as.Depth,
+			Running:        as.Running,
+			Capacity:       as.Capacity,
+			MaxQueue:       as.MaxQueue,
+			Submitted:      as.Submitted,
+			Admitted:       as.Admitted,
+			Completed:      as.Completed,
+			Failed:         as.Failed,
+			Canceled:       as.Canceled,
+			Expired:        as.Expired,
+			Rejected:       as.Rejected,
+			MaxDepth:       as.MaxDepth,
+			MeanWaitMillis: float64(as.MeanWait) / float64(time.Millisecond),
+			MaxWaitMillis:  float64(as.MaxWait) / float64(time.Millisecond),
+			PerClient:      make(map[string]ClientStats, len(as.PerClient)),
+		},
+		Queries: make(map[string]int),
+	}
+	for _, f := range ps.Filters {
+		out.Pipeline.Filters = append(out.Pipeline.Filters, FilterStats{
+			Dimension: f.Dimension,
+			Stored:    f.Stored,
+			TuplesIn:  f.TuplesIn,
+			Probes:    f.Probes,
+			Drops:     f.Drops,
+			DropRate:  f.DropRate(),
+		})
+	}
+	for name, cs := range as.PerClient {
+		c := ClientStats{
+			Submitted:       cs.Submitted,
+			Admitted:        cs.Admitted,
+			Finished:        cs.Finished,
+			MaxWaitMillis:   float64(cs.MaxWait) / float64(time.Millisecond),
+			TotalWaitMillis: float64(cs.TotalWait) / float64(time.Millisecond),
+		}
+		if cs.Admitted > 0 {
+			c.MeanWaitMillis = c.TotalWaitMillis / float64(cs.Admitted)
+		}
+		out.Admission.PerClient[name] = c
+	}
+
+	s.mu.Lock()
+	out.Draining = s.draining
+	for _, sv := range s.queries {
+		out.Queries[sv.ticket.State().String()]++
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, out)
+}
+
+// DecodeResults converts raw aggregation output into JSON-friendly rows:
+// dictionary-encoded group columns decode to strings, AVG aggregates to
+// float64, everything else stays int64.
+func DecodeResults(b *query.Bound, rows []agg.Result) [][]any {
+	out := make([][]any, 0, len(rows))
+	for _, r := range rows {
+		line := make([]any, 0, len(r.Group)+len(r.Ints))
+		for gi, gv := range r.Group {
+			line = append(line, decodeGroupValue(b, gi, gv))
+		}
+		for ai := range r.Ints {
+			spec := b.Aggs[ai]
+			if spec.Fn == agg.Avg {
+				line = append(line, r.Value(ai, spec))
+			} else {
+				line = append(line, r.Ints[ai])
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func decodeGroupValue(b *query.Bound, gi int, v int64) any {
+	col, ok := b.GroupBy[gi].(expr.Col)
+	if !ok {
+		return v
+	}
+	tab := b.Schema.Fact
+	if col.Slot > 0 {
+		tab = b.Schema.Dims[col.Slot-1]
+	}
+	if d := tab.Dicts[col.Idx]; d != nil {
+		if s, ok := d.Decode(v); ok {
+			return s
+		}
+	}
+	return v
+}

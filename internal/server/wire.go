@@ -1,0 +1,140 @@
+package server
+
+// Wire types of the cjoind HTTP/JSON API, shared with the typed Go
+// client (internal/server/client).
+
+// SubmitRequest is the body of POST /query.
+type SubmitRequest struct {
+	// SQL is the star query text (internal/sql subset).
+	SQL string `json:"sql"`
+	// Client optionally attributes the query in fairness accounting.
+	Client string `json:"client,omitempty"`
+	// MaxWaitMillis optionally bounds the queue wait; the query fails
+	// with state "expired" if no pipeline slot frees up in time.
+	// 0 uses the server default, negative disables the deadline.
+	MaxWaitMillis int64 `json:"max_wait_ms,omitempty"`
+}
+
+// QueryStatus describes one submitted query; it is returned by
+// POST /query (202) and GET /query/{id}.
+type QueryStatus struct {
+	ID    string `json:"id"`
+	SQL   string `json:"sql,omitempty"`
+	State string `json:"state"` // queued|admitting|running|done|failed|canceled|expired
+
+	// QueuePos is the 1-based position in the admission queue while the
+	// query waits; 0 otherwise.
+	QueuePos int `json:"queue_pos,omitempty"`
+	// QueueWaitMillis is the time spent waiting for admission.
+	QueueWaitMillis int64 `json:"queue_wait_ms"`
+
+	// Progress is the fraction of the scan cycle completed, in [0,1]
+	// (§3.2.3 of the paper). Zero while queued.
+	Progress float64 `json:"progress"`
+	// ETAMillis estimates the time to completion from the current scan
+	// rate; valid only when ETAKnown.
+	ETAMillis int64 `json:"eta_ms"`
+	ETAKnown  bool  `json:"eta_known"`
+	// PagesScanned is the number of fact pages charged to the query.
+	PagesScanned int64 `json:"pages_scanned"`
+	// SubmissionMicros is the paper's "submission time" (§6.2.2): how
+	// long pipeline registration took, once admitted.
+	SubmissionMicros int64 `json:"submission_us,omitempty"`
+	// Slot is the query's CJOIN identifier while registered (slot ids
+	// start at 0); -1 while the query has not been admitted.
+	Slot int `json:"slot"`
+
+	// Error carries the failure message for failed/canceled/expired
+	// queries.
+	Error string `json:"error,omitempty"`
+}
+
+// ResultResponse is the body of GET /query/{id}/result.
+type ResultResponse struct {
+	ID      string   `json:"id"`
+	State   string   `json:"state"`
+	Columns []string `json:"columns,omitempty"`
+	// Rows hold decoded cells: dictionary-encoded columns come back as
+	// strings, AVG aggregates as floats, everything else as integers.
+	Rows     [][]any `json:"rows,omitempty"`
+	RowCount int     `json:"row_count"`
+	// ElapsedMillis is submit-to-completion wall time as seen by the
+	// server.
+	ElapsedMillis int64  `json:"elapsed_ms"`
+	Error         string `json:"error,omitempty"`
+}
+
+// CancelResponse is the body of DELETE /query/{id}.
+type CancelResponse struct {
+	ID       string `json:"id"`
+	Canceled bool   `json:"canceled"`
+	State    string `json:"state"`
+}
+
+// AdmissionStats mirrors admission.Stats.
+type AdmissionStats struct {
+	Depth     int   `json:"depth"`
+	Running   int   `json:"running"`
+	Capacity  int   `json:"capacity"`
+	MaxQueue  int   `json:"max_queue"`
+	Submitted int64 `json:"submitted"`
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Expired   int64 `json:"expired"`
+	Rejected  int64 `json:"rejected"`
+	MaxDepth  int   `json:"max_depth"`
+
+	MeanWaitMillis float64 `json:"mean_wait_ms"`
+	MaxWaitMillis  float64 `json:"max_wait_ms"`
+
+	PerClient map[string]ClientStats `json:"per_client,omitempty"`
+}
+
+// ClientStats is the per-client fairness ledger.
+type ClientStats struct {
+	Submitted       int64   `json:"submitted"`
+	Admitted        int64   `json:"admitted"`
+	Finished        int64   `json:"finished"`
+	MeanWaitMillis  float64 `json:"mean_wait_ms"`
+	MaxWaitMillis   float64 `json:"max_wait_ms"`
+	TotalWaitMillis float64 `json:"total_wait_ms"`
+}
+
+// FilterStats mirrors core.FilterStats.
+type FilterStats struct {
+	Dimension string  `json:"dimension"`
+	Stored    int     `json:"stored"`
+	TuplesIn  int64   `json:"tuples_in"`
+	Probes    int64   `json:"probes"`
+	Drops     int64   `json:"drops"`
+	DropRate  float64 `json:"drop_rate"`
+}
+
+// PipelineStats mirrors core.Stats.
+type PipelineStats struct {
+	MaxConcurrent int           `json:"max_concurrent"`
+	Active        int           `json:"active"`
+	TuplesScanned int64         `json:"tuples_scanned"`
+	TuplesEmitted int64         `json:"tuples_emitted"`
+	PagesRead     int64         `json:"pages_read"`
+	ScanCycles    int64         `json:"scan_cycles"`
+	FilterOrder   []string      `json:"filter_order"`
+	Filters       []FilterStats `json:"filters"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeMillis int64          `json:"uptime_ms"`
+	Draining     bool           `json:"draining"`
+	Pipeline     PipelineStats  `json:"pipeline"`
+	Admission    AdmissionStats `json:"admission"`
+	// Queries counts tracked queries by state.
+	Queries map[string]int `json:"queries"`
+}
+
+// ErrorResponse is the JSON error envelope for non-2xx statuses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -23,6 +23,10 @@ type SelectStmt struct {
 	Where   Expr // nil if absent
 	GroupBy []Expr
 	OrderBy []OrderItem
+	// HasLimit reports whether a LIMIT clause was present; Limit is its
+	// row count.
+	HasLimit bool
+	Limit    int64
 }
 
 // SelectItem is one projection with an optional alias.

@@ -21,7 +21,7 @@ const (
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"ORDER": true, "ASC": true, "DESC": true, "AND": true, "OR": true,
-	"NOT": true, "IN": true, "BETWEEN": true, "AS": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "AS": true, "LIMIT": true,
 }
 
 type token struct {

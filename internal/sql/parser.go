@@ -152,6 +152,14 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		stmt.HasLimit = true
+		stmt.Limit = t.num
+	}
 	return stmt, nil
 }
 

@@ -194,3 +194,26 @@ func TestStringRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestParseLimit(t *testing.T) {
+	stmt := mustParse(t, "SELECT SUM(a) FROM t GROUP BY b ORDER BY b LIMIT 10")
+	if !stmt.HasLimit || stmt.Limit != 10 {
+		t.Fatalf("limit: has=%v n=%d", stmt.HasLimit, stmt.Limit)
+	}
+	stmt = mustParse(t, "SELECT SUM(a) FROM t LIMIT 0")
+	if !stmt.HasLimit || stmt.Limit != 0 {
+		t.Fatalf("limit 0: has=%v n=%d", stmt.HasLimit, stmt.Limit)
+	}
+	if stmt := mustParse(t, "SELECT SUM(a) FROM t"); stmt.HasLimit {
+		t.Fatal("phantom LIMIT")
+	}
+	for _, bad := range []string{
+		"SELECT SUM(a) FROM t LIMIT",
+		"SELECT SUM(a) FROM t LIMIT x",
+		"SELECT SUM(a) FROM t LIMIT 1 2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
