@@ -15,7 +15,7 @@ all: build test
 ci: vet build test race-core
 
 race-core:
-	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht
+	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/shard
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,10 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Filter/pipeline hot-path microbenchmarks, snapshotted as JSON. Run the
-# paper-scale experiment benchmarks separately: go test -bench . -v .
+# Filter/pipeline hot-path microbenchmarks plus the sharded-tier scan
+# benchmark, snapshotted as JSON. Run the paper-scale experiment
+# benchmarks separately: go test -bench . -v .
 bench:
-	$(GO) test -run '^$$' -bench 'FilterProbe' -benchtime $(BENCHTIME) -count 3 ./internal/core \
+	$(GO) test -run '^$$' -bench 'FilterProbe|ShardScan|AndPair' -benchtime $(BENCHTIME) -count 3 \
+		./internal/core ./internal/shard ./internal/bitvec \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_$(BENCH_N).json

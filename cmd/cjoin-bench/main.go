@@ -7,6 +7,8 @@
 //	cjoin-bench -exp all
 //	cjoin-bench -exp figure5 -rows 10000 -queries 96 -ns 1,8,32,128,256
 //	cjoin-bench -exp table2 -csv
+//	cjoin-bench -exp overload -ns 64,128,256,512 -json
+//	cjoin-bench -exp shardscale -shards 1,2,4,8 -json
 //
 // Absolute numbers differ from the paper (scaled data, simulated disk);
 // the shapes — who wins, by what factor, where the curves bend — are the
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +30,7 @@ import (
 func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, ablations, figure4..figure8, table1..table3, "+
-			"ablation-{probeskip,batchsize,maxconc,filterorder,compression}")
+			"overload, shardscale, ablation-{probeskip,batchsize,maxconc,filterorder,compression}")
 		sf      = flag.Int("sf", 1, "SSB scale factor")
 		rows    = flag.Int("rows", 5000, "fact rows per scale-factor unit")
 		sel     = flag.Float64("s", 0.01, "predicate selectivity")
@@ -39,7 +42,9 @@ func main() {
 		sfsArg  = flag.String("sfs", "", "comma-separated scale factors for figure8/table3 (default 1,4,16)")
 		n       = flag.Int("n", 32, "concurrency for figure7/figure8/table2/table3")
 		threads = flag.Int("threads", 5, "max stage threads for figure4")
+		shards  = flag.String("shards", "", "comma-separated shard counts for shardscale (default 1,2,4,8)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		jsonOut = flag.Bool("json", false, "emit the selected figures as one JSON document on stdout")
 	)
 	flag.Parse()
 
@@ -57,6 +62,8 @@ func main() {
 	check(err)
 	sfs, err := parseInts(*sfsArg)
 	check(err)
+	shardNs, err := parseInts(*shards)
+	check(err)
 
 	type runner struct {
 		id  string
@@ -71,6 +78,8 @@ func main() {
 		{"table2", func() (harness.Figure, error) { return harness.RunTable2(cfg, sels, *n) }},
 		{"figure8", func() (harness.Figure, error) { return harness.RunFigure8(cfg, sfs, *n) }},
 		{"table3", func() (harness.Figure, error) { return harness.RunTable3(cfg, sfs, *n) }},
+		{"overload", func() (harness.Figure, error) { return harness.RunOverloadFigure(cfg, ns) }},
+		{"shardscale", func() (harness.Figure, error) { return harness.RunShardScale(cfg, shardNs, *n) }},
 	}
 	ablations := []runner{
 		{"probeskip", func() (harness.Figure, error) { return harness.RunAblationProbeSkip(cfg, *n) }},
@@ -85,10 +94,13 @@ func main() {
 	}
 
 	ran := 0
+	var figures []harness.Figure
 	for _, r := range runners {
 		switch {
 		case *exp == r.id:
-		case *exp == "all" && !strings.HasPrefix(r.id, "ablation-"):
+		// "all" reproduces the paper's evaluation; the serving-tier and
+		// sharding experiments run only when asked for by name.
+		case *exp == "all" && !strings.HasPrefix(r.id, "ablation-") && r.id != "overload" && r.id != "shardscale":
 		case *exp == "ablations" && strings.HasPrefix(r.id, "ablation-"):
 		default:
 			continue
@@ -96,9 +108,13 @@ func main() {
 		start := time.Now()
 		fig, err := r.run()
 		check(err)
-		if *csv {
+		switch {
+		case *jsonOut:
+			figures = append(figures, fig)
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.id, time.Since(start).Round(time.Millisecond))
+		case *csv:
 			fmt.Printf("# %s\n%s\n", fig.Title, fig.CSV())
-		} else {
+		default:
 			fmt.Println(fig.Format())
 			fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
 		}
@@ -107,6 +123,11 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(figures))
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cjoind -addr :8077 -sf 1 -rows 20000 -maxconc 64 -queue 512
+//	cjoind -addr :8077 -sf 1 -rows 20000 -maxconc 64 -queue 512 -shards 4
 //
 // Then:
 //
@@ -35,6 +35,7 @@ import (
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
 	"cjoin/internal/server"
+	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
 )
 
@@ -45,6 +46,7 @@ func main() {
 		rows     = flag.Int("rows", 20000, "fact rows per scale-factor unit")
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
 		parts    = flag.Int("partitions", 0, "range-partition lineorder into N heaps (0 = off)")
+		shards   = flag.Int("shards", 1, "fact-page-partitioned CJOIN pipelines behind one admission queue (1 = single pipeline)")
 		maxConc  = flag.Int("maxconc", 64, "pipeline query slots (maxConc)")
 		workers  = flag.Int("workers", 0, "stage worker threads (0 = NumCPU/2)")
 		batch    = flag.Int("batch", 0, "pipeline batch rows (0 = default)")
@@ -76,19 +78,32 @@ func main() {
 	log.Printf("SSB sf=%d: %d fact rows, 4 dimensions, generated in %v",
 		*sf, ds.Lineorder.Heap.NumRows(), time.Since(start).Round(time.Millisecond))
 
-	pipe, err := core.NewPipeline(ds.Star, core.Config{
+	coreCfg := core.Config{
 		MaxConcurrent:    *maxConc,
 		Workers:          *workers,
 		BatchRows:        *batch,
 		OptimizeInterval: 100 * time.Millisecond,
-	})
-	if err != nil {
-		log.Fatalf("pipeline: %v", err)
 	}
-	pipe.Start()
-	log.Printf("pipeline started: maxconc=%d", *maxConc)
+	var exec core.Executor
+	if *shards > 1 {
+		group, err := shard.New(ds.Star, shard.Config{Shards: *shards, Core: coreCfg})
+		if err != nil {
+			log.Fatalf("shard group: %v", err)
+		}
+		group.Start()
+		exec = group
+		log.Printf("sharded execution started: %d pipelines, maxconc=%d", group.NumShards(), *maxConc)
+	} else {
+		pipe, err := core.NewPipeline(ds.Star, coreCfg)
+		if err != nil {
+			log.Fatalf("pipeline: %v", err)
+		}
+		pipe.Start()
+		exec = pipe
+		log.Printf("pipeline started: maxconc=%d", *maxConc)
+	}
 
-	srv := server.New(ds.Star, ds.Txn, pipe, server.Config{
+	srv := server.New(ds.Star, ds.Txn, exec, server.Config{
 		Admission: admission.Config{MaxQueue: *queueLen, MaxWait: *maxWait},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -105,7 +120,7 @@ func main() {
 	case sig := <-sigCh:
 		log.Printf("received %v; draining (budget %v)", sig, *drainTO)
 	case err := <-errCh:
-		pipe.Stop()
+		exec.Stop()
 		log.Fatalf("http server: %v", err)
 	}
 
@@ -119,7 +134,8 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	pipe.Stop()
+	// Stop fans out to every shard pipeline.
+	exec.Stop()
 
 	st := srv.Queue().Stats()
 	fmt.Fprintf(os.Stderr,

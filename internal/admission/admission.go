@@ -119,7 +119,7 @@ type Ticket struct {
 
 	mu            sync.Mutex
 	state         State
-	handle        *core.Handle
+	handle        core.Handle
 	result        core.QueryResult
 	waited        time.Duration // time spent queued, fixed at admission
 	cancelPending bool
@@ -128,9 +128,10 @@ type Ticket struct {
 	done chan struct{}
 }
 
-// Queue is the admission tier over one pipeline.
+// Queue is the admission tier over one executor — a single pipeline or
+// a sharded group, anything implementing core.Executor.
 type Queue struct {
-	p   *core.Pipeline
+	ex  core.Executor
 	cfg Config
 
 	// tokens holds one entry per pipeline slot; the dispatcher takes one
@@ -196,21 +197,21 @@ type Stats struct {
 	PerClient map[string]ClientStats
 }
 
-// NewQueue starts the admission tier over p. The pipeline must already be
-// started.
-func NewQueue(p *core.Pipeline, cfg Config) *Queue {
+// NewQueue starts the admission tier over ex. The executor must already
+// be started.
+func NewQueue(ex core.Executor, cfg Config) *Queue {
 	if cfg.MaxQueue <= 0 {
-		cfg.MaxQueue = 8 * p.MaxConcurrent()
+		cfg.MaxQueue = 8 * ex.MaxConcurrent()
 	}
 	q := &Queue{
-		p:         p,
+		ex:        ex,
 		cfg:       cfg,
-		tokens:    make(chan struct{}, p.MaxConcurrent()),
+		tokens:    make(chan struct{}, ex.MaxConcurrent()),
 		wake:      make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		perClient: make(map[string]*ClientStats),
 	}
-	for i := 0; i < p.MaxConcurrent(); i++ {
+	for i := 0; i < ex.MaxConcurrent(); i++ {
 		q.tokens <- struct{}{}
 	}
 	go q.dispatch()
@@ -347,7 +348,7 @@ func (q *Queue) dispatch() {
 		if t == nil {
 			return
 		}
-		h, err := q.p.Submit(t.bound)
+		h, err := q.ex.Submit(t.bound)
 		if err != nil {
 			q.tokens <- struct{}{}
 			if errors.Is(err, core.ErrTooManyQueries) {
@@ -373,7 +374,7 @@ func (q *Queue) dispatch() {
 
 // watch delivers the ticket's result and returns the slot token once the
 // pipeline has recycled the slot.
-func (q *Queue) watch(t *Ticket, h *core.Handle) {
+func (q *Queue) watch(t *Ticket, h core.Handle) {
 	res := h.Wait()
 	t.complete(res)
 	<-h.Done()
@@ -426,7 +427,7 @@ func (q *Queue) Stats() Stats {
 	s := Stats{
 		Depth:     len(q.fifo),
 		Running:   q.running,
-		Capacity:  q.p.MaxConcurrent(),
+		Capacity:  q.ex.MaxConcurrent(),
 		MaxQueue:  q.cfg.MaxQueue,
 		Submitted: q.stats.submitted,
 		Admitted:  q.stats.admitted,
@@ -492,7 +493,7 @@ func (t *Ticket) requeueFront() {
 }
 
 // run records a successful admission.
-func (t *Ticket) run(h *core.Handle) {
+func (t *Ticket) run(h core.Handle) {
 	waited := time.Since(t.enqueued)
 	t.mu.Lock()
 	t.handle = h
@@ -677,8 +678,8 @@ func (t *Ticket) State() State {
 	return t.state
 }
 
-// Handle returns the pipeline handle, or nil while the query waits.
-func (t *Ticket) Handle() *core.Handle {
+// Handle returns the executor's handle, or nil while the query waits.
+func (t *Ticket) Handle() core.Handle {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.handle

@@ -249,6 +249,61 @@ func (s *Sorted) foldRow(b *bucket, row []int64, existed bool) {
 	}
 }
 
+// Merge folds partial result sets — each sorted by group key, as
+// Results produces them — into one result set sorted by group key. It is
+// the scatter/gather half of sharded execution: each fact-partitioned
+// pipeline aggregates its share of the scan, and Merge combines the
+// partial states associatively, so the merged output is exactly what a
+// single pipeline over the whole fact table would have produced.
+//
+// Per-spec combination: SUM and COUNT partials add; AVG is carried as
+// (sum, count) in Result.Ints/Counts and both add, so the final division
+// is exact; MIN/MAX take the extremum. Counts always add, since every
+// partial bucket counted its own input rows. Integer addition over int64
+// is associative and commutative, so merge order cannot change results.
+func Merge(specs []Spec, parts ...[]Result) []Result {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]Result, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sortResults(all)
+	out := make([]Result, 0, len(all))
+	for _, r := range all {
+		if len(out) == 0 || !equalInt64s(out[len(out)-1].Group, r.Group) {
+			out = append(out, Result{
+				Group:  append([]int64(nil), r.Group...),
+				Ints:   append([]int64(nil), r.Ints...),
+				Counts: append([]int64(nil), r.Counts...),
+			})
+			continue
+		}
+		cur := &out[len(out)-1]
+		for i, s := range specs {
+			switch s.Fn {
+			case Sum, Count, Avg:
+				cur.Ints[i] += r.Ints[i]
+			case Min:
+				if r.Ints[i] < cur.Ints[i] {
+					cur.Ints[i] = r.Ints[i]
+				}
+			case Max:
+				if r.Ints[i] > cur.Ints[i] {
+					cur.Ints[i] = r.Ints[i]
+				}
+			}
+			cur.Counts[i] += r.Counts[i]
+		}
+	}
+	return out
+}
+
 func sortResults(rs []Result) {
 	sort.Slice(rs, func(a, b int) bool { return lessInt64s(rs[a].Group, rs[b].Group) })
 }

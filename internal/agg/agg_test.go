@@ -179,3 +179,64 @@ func TestFormatResults(t *testing.T) {
 		t.Fatal("format must render")
 	}
 }
+
+// TestMergePartials checks the sharded-execution invariant directly:
+// splitting a row stream into arbitrary partitions, aggregating each
+// partition, and merging the partials must equal aggregating the whole
+// stream at once — for every function, including AVG's sum+count state.
+func TestMergePartials(t *testing.T) {
+	specs := []Spec{
+		{Fn: Sum, Arg: col(1)},
+		{Fn: Count},
+		{Fn: Min, Arg: col(1)},
+		{Fn: Max, Arg: col(1)},
+		{Fn: Avg, Arg: col(1)},
+	}
+	groupBy := []expr.Node{col(0)}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nrows := rng.Intn(200) + 1
+		rows := make([][]int64, nrows)
+		for i := range rows {
+			rows[i] = []int64{int64(rng.Intn(8)), rng.Int63n(2001) - 1000}
+		}
+
+		whole := NewHash(specs, groupBy)
+		addRows(whole, rows)
+		want := whole.Results()
+
+		nparts := rng.Intn(5) + 1
+		aggs := make([]*Hash, nparts)
+		for i := range aggs {
+			aggs[i] = NewHash(specs, groupBy)
+		}
+		for _, r := range rows {
+			addRows(aggs[rng.Intn(nparts)], [][]int64{r})
+		}
+		parts := make([][]Result, nparts)
+		for i, a := range aggs {
+			parts[i] = a.Results()
+		}
+		got := Merge(specs, parts...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%d parts): merge diverges\n got %v\nwant %v", trial, nparts, got, want)
+		}
+	}
+}
+
+// TestMergeEmpty covers the degenerate shapes: no partials, empty
+// partials, and a single partial passing through unchanged.
+func TestMergeEmpty(t *testing.T) {
+	specs := []Spec{{Fn: Sum, Arg: col(1)}}
+	if got := Merge(specs); got != nil {
+		t.Fatalf("Merge() = %v", got)
+	}
+	if got := Merge(specs, nil, nil); got != nil {
+		t.Fatalf("Merge(nil, nil) = %v", got)
+	}
+	one := []Result{{Group: []int64{1}, Ints: []int64{5}, Counts: []int64{2}}}
+	got := Merge(specs, nil, one)
+	if !reflect.DeepEqual(got, one) {
+		t.Fatalf("single partial changed: %v", got)
+	}
+}

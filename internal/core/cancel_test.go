@@ -291,7 +291,7 @@ func TestCancelChurnRace(t *testing.T) {
 	p.Quiesce()
 
 	// All 8 slots must be free and functional.
-	var hs []*core.Handle
+	var hs []core.Handle
 	for i := 0; i < 8; i++ {
 		h, err := p.Submit(qs[i])
 		if err != nil {

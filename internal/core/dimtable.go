@@ -315,6 +315,10 @@ func filterBatchVec(d *dimState, b *batch, s *dimht.Snapshot) (probes, drops int
 		probes++
 		t := &rows[i]
 		if sl >= 0 {
+			// Deliberately Vec.And, not bitvec.AndPair: And inlines into
+			// this loop while AndPair (8-word blocks) does not, and the
+			// A/B at mc=256 showed the per-tuple call overhead costs more
+			// than the wider unroll saves (see PERFORMANCE.md PR 3).
 			t.bv.And(s.Bits(sl))
 			t.dims[dim] = s.Row(sl)
 		} else {

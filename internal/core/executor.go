@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"cjoin/internal/query"
+)
+
+// Handle tracks one submitted query independently of which executor runs
+// it: the single Pipeline implements it directly, and sharded executors
+// (internal/shard) implement it over a set of per-shard handles. The
+// observability methods expose the paper's §3.2.3 promise — progress and
+// completion estimates derived from the continuous scan position.
+type Handle interface {
+	// Slot returns the query's CJOIN identifier in [0, maxConc). Sharded
+	// executors report a representative shard's slot.
+	Slot() int
+	// Wait blocks until the query completes and returns its results. The
+	// result is delivered exactly once; Wait must have a single consumer.
+	Wait() QueryResult
+	// Done returns a channel closed once the query's slot (on every
+	// shard) has been fully recycled — Algorithm 2 cleanup finished. The
+	// result is always delivered before Done closes, so Done doubles as a
+	// "slot free" signal for admission control layered above.
+	Done() <-chan struct{}
+	// Cancel abandons the query; ErrQueryCanceled is delivered
+	// immediately and the slot is retired at the next page boundary. It
+	// reports whether this call initiated the cancellation.
+	Cancel() bool
+	// Canceled reports whether the query was abandoned via Cancel.
+	Canceled() bool
+	// PagesScanned returns the fact pages charged to the query so far.
+	PagesScanned() int64
+	// ETA estimates time to completion from the current processing rate
+	// (§3.2.3); ok is false while no progress is observable.
+	ETA() (time.Duration, bool)
+	// Progress returns the fraction of the query's scan completed, [0,1].
+	Progress() float64
+	// Submission is the paper's §6.2.2 registration latency: from Submit
+	// entry until the query-start control tuple entered the pipeline.
+	Submission() time.Duration
+}
+
+// Executor is the execution tier behind the admission queue and the HTTP
+// service layer: anything that can register bound star queries and run
+// them to completion. *Pipeline is the single-pipeline implementation;
+// internal/shard.Group fans one logical query out over N fact-partitioned
+// pipelines. Admission, serving, and the harness depend on this interface
+// only, so execution topology can change without touching those tiers.
+type Executor interface {
+	// Submit registers a bound query (Algorithm 1) and returns a handle
+	// delivering its results after one full scan cycle.
+	Submit(q *query.Bound) (Handle, error)
+	// SubmitCtx is Submit with a context: cancellation before or during
+	// installation aborts the admission cleanly.
+	SubmitCtx(ctx context.Context, q *query.Bound) (Handle, error)
+	// MaxConcurrent returns the executor's maxConc bound — the number of
+	// concurrent query slots.
+	MaxConcurrent() int
+	// ActiveQueries returns the number of queries currently registered.
+	ActiveQueries() int
+	// Stats snapshots execution counters, aggregated across shards for
+	// sharded executors.
+	Stats() Stats
+	// Quiesce blocks until no queries are in flight.
+	Quiesce()
+	// Stop shuts the executor down; in-flight queries receive
+	// ErrPipelineStopped.
+	Stop()
+}

@@ -23,11 +23,15 @@ type TupleSink interface {
 // SubmitWithSink registers q like Submit but routes its result tuples to
 // sink. The returned handle's Wait still reports completion (with empty
 // Rows on success).
-func (p *Pipeline) SubmitWithSink(q *query.Bound, sink TupleSink) (*Handle, error) {
+func (p *Pipeline) SubmitWithSink(q *query.Bound, sink TupleSink) (Handle, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("core: nil sink")
 	}
-	return p.submit(q, sink)
+	h, err := p.submit(q, sink)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // galaxySideA collects the star results of the first sub-query into a

@@ -68,30 +68,36 @@ func (rq *runningQuery) deliver(rows []agg.Result, err error) {
 	}
 }
 
-// Handle tracks one submitted query.
-type Handle struct {
+// pipeHandle is the Pipeline's Handle implementation, tracking one
+// registered query.
+type pipeHandle struct {
 	rq *runningQuery
-	// Submission is the interval from Submit entry until the query-start
+	// submission is the interval from Submit entry until the query-start
 	// control tuple entered the pipeline — the paper's "submission time"
 	// (§6.2.2, Table 1).
-	Submission time.Duration
+	submission time.Duration
 }
 
+var _ Handle = (*pipeHandle)(nil)
+
 // Slot returns the query's CJOIN identifier in [0, maxConc).
-func (h *Handle) Slot() int { return h.rq.slot }
+func (h *pipeHandle) Slot() int { return h.rq.slot }
 
 // Wait blocks until the query completes one full scan cycle and returns
 // its results.
-func (h *Handle) Wait() QueryResult { return <-h.rq.resultCh }
+func (h *pipeHandle) Wait() QueryResult { return <-h.rq.resultCh }
 
 // Done returns a channel closed once the query's slot has been fully
 // recycled (Algorithm 2 cleanup finished). The result is always delivered
 // before Done closes, so Done doubles as a "slot free" signal for
 // admission control layered above the pipeline.
-func (h *Handle) Done() <-chan struct{} { return h.rq.cleaned }
+func (h *pipeHandle) Done() <-chan struct{} { return h.rq.cleaned }
 
 // Canceled reports whether the query was abandoned via Cancel.
-func (h *Handle) Canceled() bool { return h.rq.canceled.Load() }
+func (h *pipeHandle) Canceled() bool { return h.rq.canceled.Load() }
+
+// Submission reports how long pipeline registration took.
+func (h *pipeHandle) Submission() time.Duration { return h.submission }
 
 // Cancel abandons the query without tearing down the pipeline: the result
 // ErrQueryCanceled is delivered immediately, and the Preprocessor retires
@@ -99,7 +105,7 @@ func (h *Handle) Canceled() bool { return h.rq.canceled.Load() }
 // control tuple frees the bit-vector slot for reuse (Algorithm 2). Cancel
 // returns true if this call canceled the query; false if the query had
 // already completed, failed, or been canceled.
-func (h *Handle) Cancel() bool {
+func (h *pipeHandle) Cancel() bool {
 	rq := h.rq
 	if !rq.delivered.CompareAndSwap(false, true) {
 		return false
@@ -119,13 +125,13 @@ func (h *Handle) Cancel() bool {
 
 // PagesScanned returns the number of fact pages the continuous scan has
 // charged to this query so far.
-func (h *Handle) PagesScanned() int64 { return h.rq.pagesDone.Load() }
+func (h *pipeHandle) PagesScanned() int64 { return h.rq.pagesDone.Load() }
 
 // ETA estimates the time to completion from the current processing rate —
 // the paper's §3.2.3 "estimated time of completion based on the current
 // processing rate of the pipeline". It returns 0 once the query is done
 // and false while no progress has been made yet.
-func (h *Handle) ETA() (time.Duration, bool) {
+func (h *pipeHandle) ETA() (time.Duration, bool) {
 	done := h.rq.pagesDone.Load()
 	total := h.rq.pagesTotal.Load()
 	if h.rq.delivered.Load() || (total > 0 && done >= total) {
@@ -140,7 +146,7 @@ func (h *Handle) ETA() (time.Duration, bool) {
 }
 
 // Progress returns the fraction of the query's scan completed, in [0,1].
-func (h *Handle) Progress() float64 {
+func (h *pipeHandle) Progress() float64 {
 	total := h.rq.pagesTotal.Load()
 	if total <= 0 {
 		return 1
@@ -153,7 +159,8 @@ func (h *Handle) Progress() float64 {
 }
 
 // Pipeline is the CJOIN operator: one always-on shared plan evaluating
-// every registered star query (§3.1).
+// every registered star query (§3.1). It is the single-pipeline Executor;
+// internal/shard.Group composes N of them behind the same interface.
 type Pipeline struct {
 	cfg  Config
 	star *catalog.Star
@@ -225,15 +232,25 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
+var _ Executor = (*Pipeline)(nil)
+
 // Start launches the pipeline goroutines.
 func (p *Pipeline) Start() {
-	p.pp = newPreprocessor(p)
-	stagesOut := p.startStages(p.pp.out)
-	p.dist = newDistributor(p, stagesOut)
+	pp := newPreprocessor(p)
+	stagesOut := p.startStages(pp.out)
+	dist := newDistributor(p, stagesOut)
+
+	// Publish pp/dist under the manager lock so a concurrent Stats (e.g.
+	// a /stats request racing shard startup) reads either nil or the
+	// fully built components, never a torn pointer.
+	p.pmMu.Lock()
+	p.pp = pp
+	p.dist = dist
+	p.pmMu.Unlock()
 
 	p.wg.Add(3)
-	go func() { defer p.wg.Done(); p.pp.run() }()
-	go func() { defer p.wg.Done(); p.dist.run() }()
+	go func() { defer p.wg.Done(); pp.run() }()
+	go func() { defer p.wg.Done(); dist.run() }()
 	go func() { defer p.wg.Done(); p.managerLoop() }()
 }
 
@@ -292,23 +309,31 @@ func (p *Pipeline) managerLoop() {
 
 // Submit registers a bound star query with the operator (Algorithm 1) and
 // returns a handle delivering its results after one full scan cycle.
-func (p *Pipeline) Submit(q *query.Bound) (*Handle, error) {
-	return p.submitCtx(context.Background(), q, nil)
+func (p *Pipeline) Submit(q *query.Bound) (Handle, error) {
+	h, err := p.submitCtx(context.Background(), q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // SubmitCtx is Submit with a context: a context canceled before the query
 // is installed aborts the admission (rolling back dimension-table updates
 // and the slot), and one canceled during the short installation stall
 // cancels the freshly admitted query. Either way the error is ctx.Err().
-func (p *Pipeline) SubmitCtx(ctx context.Context, q *query.Bound) (*Handle, error) {
-	return p.submitCtx(ctx, q, nil)
+func (p *Pipeline) SubmitCtx(ctx context.Context, q *query.Bound) (Handle, error) {
+	h, err := p.submitCtx(ctx, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
-func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*Handle, error) {
+func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*pipeHandle, error) {
 	return p.submitCtx(context.Background(), q, sink)
 }
 
-func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink) (*Handle, error) {
+func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink) (*pipeHandle, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -396,7 +421,7 @@ func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink
 	case <-p.stopCh:
 		return nil, ErrPipelineStopped
 	}
-	h := &Handle{rq: rq, Submission: time.Since(start)}
+	h := &pipeHandle{rq: rq, submission: time.Since(start)}
 	if err := ctx.Err(); err != nil {
 		h.Cancel()
 		return nil, err
@@ -510,14 +535,20 @@ type Stats struct {
 	FilterOrder   []string
 }
 
-// Stats snapshots the pipeline counters and per-filter statistics.
+// Stats snapshots the pipeline counters and per-filter statistics. It is
+// safe to call concurrently with Start and Stop: the preprocessor pointer
+// is read under the manager lock (the same snapshot discipline the
+// admission tier uses for its counters), and all counters are atomics.
 func (p *Pipeline) Stats() Stats {
+	p.pmMu.Lock()
+	pp := p.pp
+	p.pmMu.Unlock()
 	s := Stats{}
-	if p.pp != nil {
-		s.TuplesScanned = p.pp.tuplesIn.Load()
-		s.TuplesEmitted = p.pp.tuplesOut.Load()
-		s.PagesRead = p.pp.pagesRead.Load()
-		s.ScanCycles = p.pp.scanCycles.Load()
+	if pp != nil {
+		s.TuplesScanned = pp.tuplesIn.Load()
+		s.TuplesEmitted = pp.tuplesOut.Load()
+		s.PagesRead = pp.pagesRead.Load()
+		s.ScanCycles = pp.scanCycles.Load()
 	}
 	for _, ds := range p.dimStates {
 		s.Filters = append(s.Filters, ds.stats())

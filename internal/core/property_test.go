@@ -36,7 +36,7 @@ func TestRandomStarEquivalence(t *testing.T) {
 		nq := rng.Intn(6) + 2
 		type pending struct {
 			q *query.Bound
-			h *core.Handle
+			h core.Handle
 		}
 		var ps []pending
 		for i := 0; i < nq; i++ {

@@ -195,7 +195,7 @@ func RunAblationFilterOrder(cfg Config, n int) (Figure, error) {
 		var total time.Duration
 		count := 0
 		for round := 0; round < cfg.Queries/n+1; round++ {
-			handles := make([]*core.Handle, 0, n)
+			handles := make([]core.Handle, 0, n)
 			for i := 0; i < n; i++ {
 				q, err := makeQuery(int64(round*n + i))
 				if err != nil {

@@ -356,3 +356,52 @@ func RunTable3(cfg Config, sfs []int, n int) (Figure, error) {
 	fig.Series = []Series{sub, resp}
 	return fig, nil
 }
+
+// RunShardScale measures the sharded execution tier: the same closed-loop
+// workload at concurrency n, run over 1..N fact-partitioned pipelines.
+// It reports throughput and the aggregate scan rate (pages consumed per
+// second across all shards) — the quantity the single-pipeline design
+// bounds and sharding is meant to lift. The dataset lives on an
+// unthrottled in-memory device unless the caller models a disk
+// explicitly: on the simulated single spindle every shard serializes
+// behind the same head, so the CPU scaling this experiment targets would
+// be invisible.
+func RunShardScale(cfg Config, shards []int, n int) (Figure, error) {
+	if !cfg.Disk.Enabled() {
+		cfg.MemDisk = true
+	}
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4, 8}
+	}
+	if n <= 0 {
+		n = 32
+	}
+	fig := Figure{
+		ID:     "shardscale",
+		Title:  fmt.Sprintf("Shard scaling: %d-query closed loop over N fact-partitioned pipelines", n),
+		XLabel: "shards",
+		YLabel: "throughput (queries/hour), scan rate (pages/s)",
+	}
+	thr := Series{Name: "CJOIN q/hour"}
+	scan := Series{Name: "scan pages/s"}
+	sub := Series{Name: "submission (s)"}
+	for _, ns := range shards {
+		ecfg := cfg
+		ecfg.Shards = ns
+		env, err := NewEnv(ecfg)
+		if err != nil {
+			return fig, err
+		}
+		m, st, err := env.runExecutor("CJOIN", n, core.Config{}, "")
+		if err != nil {
+			return fig, fmt.Errorf("shards=%d: %w", ns, err)
+		}
+		fig.X = append(fig.X, float64(ns))
+		thr.Y = append(thr.Y, m.Throughput)
+		scan.Y = append(scan.Y, float64(st.PagesRead)/m.Elapsed.Seconds())
+		sub.Y = append(sub.Y, m.Submission.Seconds())
+	}
+	fig.Series = []Series{thr, scan, sub}
+	return fig, nil
+}

@@ -21,6 +21,7 @@ import (
 	"cjoin/internal/disk"
 	"cjoin/internal/engine"
 	"cjoin/internal/query"
+	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
 )
 
@@ -53,6 +54,15 @@ type Config struct {
 	Workers int
 	// PoolPages is the baseline engines' buffer pool size.
 	PoolPages int
+	// Shards fans the execution tier out over this many fact-partitioned
+	// pipelines (internal/shard). <= 1 keeps the paper's single pipeline.
+	Shards int
+	// MemDisk keeps the dataset on an unthrottled in-memory device
+	// instead of the DefaultDisk cost model — for experiments that
+	// measure CPU scaling of the pipelines themselves (e.g. shard
+	// scan-rate scaling), where a simulated single spindle would
+	// serialize all shards and measure only the device model.
+	MemDisk bool
 }
 
 // DefaultDisk is the scaled device model: 100 MB/s sequential bandwidth
@@ -80,7 +90,7 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if !c.Disk.Enabled() {
+	if !c.Disk.Enabled() && !c.MemDisk {
 		c.Disk = DefaultDisk()
 	}
 	if c.MaxConcurrent <= 0 {
@@ -247,9 +257,8 @@ func (e *Env) buildWork(n int, onlyTpl string) ([]workItem, error) {
 	return items, nil
 }
 
-// RunCJoin measures CJOIN at concurrency n with the given pipeline
-// configuration (zero value: defaults).
-func (e *Env) RunCJoin(n int, coreCfg core.Config, onlyTpl string) (Metrics, error) {
+// normalizeCore fills pipeline defaults from the experiment config.
+func (e *Env) normalizeCore(coreCfg core.Config) core.Config {
 	if coreCfg.MaxConcurrent == 0 {
 		coreCfg.MaxConcurrent = e.Cfg.MaxConcurrent
 	}
@@ -259,19 +268,54 @@ func (e *Env) RunCJoin(n int, coreCfg core.Config, onlyTpl string) (Metrics, err
 	if coreCfg.OptimizeInterval == 0 {
 		coreCfg.OptimizeInterval = 50 * time.Millisecond
 	}
+	return coreCfg
+}
+
+// NewExecutor builds the execution tier the experiment config asks for:
+// a single pipeline, or a shard.Group when cfg.Shards > 1. The executor
+// is started; the caller owns Stop.
+func (e *Env) NewExecutor(coreCfg core.Config) (core.Executor, error) {
+	coreCfg = e.normalizeCore(coreCfg)
+	if e.Cfg.Shards > 1 {
+		g, err := shard.New(e.Dataset.Star, shard.Config{Shards: e.Cfg.Shards, Core: coreCfg})
+		if err != nil {
+			return nil, err
+		}
+		g.Start()
+		return g, nil
+	}
 	p, err := core.NewPipeline(e.Dataset.Star, coreCfg)
 	if err != nil {
-		return Metrics{}, err
+		return nil, err
 	}
 	p.Start()
-	defer p.Stop()
+	return p, nil
+}
+
+// RunCJoin measures CJOIN at concurrency n with the given pipeline
+// configuration (zero value: defaults). With Config.Shards > 1 the
+// execution tier is a sharded group behind the same closed loop.
+func (e *Env) RunCJoin(n int, coreCfg core.Config, onlyTpl string) (Metrics, error) {
+	m, _, err := e.runExecutor("CJOIN", n, coreCfg, onlyTpl)
+	return m, err
+}
+
+// runExecutor runs the closed-loop workload against the configured
+// execution tier and additionally returns the executor's final counters
+// (for scan-rate accounting).
+func (e *Env) runExecutor(system string, n int, coreCfg core.Config, onlyTpl string) (Metrics, core.Stats, error) {
+	exec, err := e.NewExecutor(coreCfg)
+	if err != nil {
+		return Metrics{}, core.Stats{}, err
+	}
+	defer exec.Stop()
 
 	work, err := e.buildWork(n, onlyTpl)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, core.Stats{}, err
 	}
 	samples, elapsed, err := e.closedLoop(n, work, func(item workItem) (time.Duration, error) {
-		h, err := p.Submit(item.bound)
+		h, err := exec.Submit(item.bound)
 		if err != nil {
 			return 0, err
 		}
@@ -279,12 +323,12 @@ func (e *Env) RunCJoin(n int, coreCfg core.Config, onlyTpl string) (Metrics, err
 		if res.Err != nil {
 			return 0, res.Err
 		}
-		return h.Submission, nil
+		return h.Submission(), nil
 	})
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, core.Stats{}, err
 	}
-	return summarize("CJOIN", n, samples, elapsed), nil
+	return summarize(system, n, samples, elapsed), exec.Stats(), nil
 }
 
 // RunEngine measures a conventional baseline at concurrency n. The

@@ -53,19 +53,15 @@ func RunOverload(cfg Config, ns []int) ([]OverloadMetrics, error) {
 	return out, nil
 }
 
-// RunOverloadCell runs one offered-load point on a fresh pipeline.
+// RunOverloadCell runs one offered-load point on a fresh execution tier
+// (a single pipeline, or a sharded group when Config.Shards > 1).
 func (e *Env) RunOverloadCell(n int) (OverloadMetrics, error) {
-	p, err := core.NewPipeline(e.Dataset.Star, core.Config{
-		MaxConcurrent:    e.Cfg.MaxConcurrent,
-		Workers:          e.Cfg.Workers,
-		OptimizeInterval: 50 * time.Millisecond,
-	})
+	exec, err := e.NewExecutor(core.Config{})
 	if err != nil {
 		return OverloadMetrics{}, err
 	}
-	p.Start()
-	defer p.Stop()
-	q := admission.NewQueue(p, admission.Config{MaxQueue: n + 1})
+	defer exec.Stop()
+	q := admission.NewQueue(exec, admission.Config{MaxQueue: n + 1})
 
 	work, err := e.buildWork(n, "")
 	if err != nil {
@@ -118,4 +114,38 @@ func (e *Env) RunOverloadCell(n int) (OverloadMetrics, error) {
 		return m, fmt.Errorf("%d queries failed", st.Failed)
 	}
 	return m, nil
+}
+
+// RunOverloadFigure renders the overload sweep as a Figure so
+// cmd/cjoin-bench can emit it through the same text/CSV/JSON output path
+// as the paper's figures — closing the ROADMAP item from the serving-
+// tier PR.
+func RunOverloadFigure(cfg Config, ns []int) (Figure, error) {
+	fig := Figure{
+		ID:     "overload",
+		Title:  "Overload: admission tier beyond pipeline capacity (rejections must stay 0)",
+		XLabel: "offered queries",
+		YLabel: "ms (waits/response), count (depth/rejected), q/hour",
+	}
+	ms, err := RunOverload(cfg, ns)
+	if err != nil {
+		return fig, err
+	}
+	qph := Series{Name: "q/hour"}
+	meanWait := Series{Name: "mean-wait-ms"}
+	maxWait := Series{Name: "max-wait-ms"}
+	meanResp := Series{Name: "mean-resp-ms"}
+	depth := Series{Name: "max-depth"}
+	rejected := Series{Name: "rejected"}
+	for _, m := range ms {
+		fig.X = append(fig.X, float64(m.Offered))
+		qph.Y = append(qph.Y, m.QPerHour)
+		meanWait.Y = append(meanWait.Y, float64(m.MeanWait)/float64(time.Millisecond))
+		maxWait.Y = append(maxWait.Y, float64(m.MaxWait)/float64(time.Millisecond))
+		meanResp.Y = append(meanResp.Y, float64(m.MeanResp)/float64(time.Millisecond))
+		depth.Y = append(depth.Y, float64(m.MaxDepth))
+		rejected.Y = append(rejected.Y, float64(m.Rejected))
+	}
+	fig.Series = []Series{qph, meanWait, maxWait, meanResp, depth, rejected}
+	return fig, nil
 }

@@ -46,11 +46,12 @@ type Config struct {
 	MaxTracked int
 }
 
-// Server is the query service layer over one pipeline.
+// Server is the query service layer over one executor — a single
+// pipeline or a sharded group (internal/shard.Group).
 type Server struct {
 	star *catalog.Star
 	txm  *txn.Manager
-	pipe *core.Pipeline
+	exec core.Executor
 	adq  *admission.Queue
 	cfg  Config
 
@@ -72,17 +73,17 @@ type served struct {
 	submitted time.Time
 }
 
-// New builds the service layer. The pipeline must already be started;
+// New builds the service layer. The executor must already be started;
 // the server creates and owns the admission queue in front of it.
-func New(star *catalog.Star, txm *txn.Manager, pipe *core.Pipeline, cfg Config) *Server {
+func New(star *catalog.Star, txm *txn.Manager, exec core.Executor, cfg Config) *Server {
 	if cfg.MaxTracked <= 0 {
 		cfg.MaxTracked = 4096
 	}
 	return &Server{
 		star:    star,
 		txm:     txm,
-		pipe:    pipe,
-		adq:     admission.NewQueue(pipe, cfg.Admission),
+		exec:    exec,
+		adq:     admission.NewQueue(exec, cfg.Admission),
 		cfg:     cfg,
 		queries: make(map[string]*served),
 		started: time.Now(),
@@ -117,7 +118,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	err := s.adq.Close(ctx)
-	s.pipe.Quiesce()
+	s.exec.Quiesce()
 	return err
 }
 
@@ -235,7 +236,7 @@ func (s *Server) status(sv *served, withSQL bool) QueryStatus {
 	if h := t.Handle(); h != nil {
 		st.Progress = h.Progress()
 		st.PagesScanned = h.PagesScanned()
-		st.SubmissionMicros = h.Submission.Microseconds()
+		st.SubmissionMicros = h.Submission().Microseconds()
 		st.Slot = h.Slot()
 		if eta, ok := h.ETA(); ok {
 			st.ETAKnown = true
@@ -323,21 +324,60 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// shardStatser is implemented by sharded executors (internal/shard.Group)
+// exposing per-shard pipeline counters alongside their merge, derived
+// from one snapshot so the breakdown sums exactly to the totals. The
+// server depends on the Executor interface only, so the extra capability
+// is an assertion.
+type shardStatser interface {
+	StatsWithShards() (core.Stats, []core.Stats)
+}
+
+// wireStats converts a core.Stats snapshot to its wire form.
+func wireStats(ps core.Stats) PipelineStats {
+	out := PipelineStats{
+		TuplesScanned: ps.TuplesScanned,
+		TuplesEmitted: ps.TuplesEmitted,
+		PagesRead:     ps.PagesRead,
+		ScanCycles:    ps.ScanCycles,
+		FilterOrder:   ps.FilterOrder,
+	}
+	for _, f := range ps.Filters {
+		out.Filters = append(out.Filters, FilterStats{
+			Dimension: f.Dimension,
+			Stored:    f.Stored,
+			TuplesIn:  f.TuplesIn,
+			Probes:    f.Probes,
+			Drops:     f.Drops,
+			DropRate:  f.DropRate(),
+		})
+	}
+	return out
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	ps := s.pipe.Stats()
+	// Each of these snapshots is internally consistent: the executor and
+	// the admission queue take their counters under their own locks, so a
+	// /stats racing shard startup or drain sees either the old or the new
+	// state, never a torn one. For a sharded executor the merged totals
+	// and the per-shard breakdown come from the same snapshot, so the
+	// breakdown always sums exactly to the totals.
+	var ps core.Stats
+	var perShard []core.Stats
+	if ss, ok := s.exec.(shardStatser); ok {
+		ps, perShard = ss.StatsWithShards()
+	} else {
+		ps = s.exec.Stats()
+	}
 	as := s.adq.Stats()
+
+	pipeline := wireStats(ps)
+	pipeline.MaxConcurrent = s.exec.MaxConcurrent()
+	pipeline.Active = s.exec.ActiveQueries()
 
 	out := StatsResponse{
 		UptimeMillis: time.Since(s.started).Milliseconds(),
-		Pipeline: PipelineStats{
-			MaxConcurrent: s.pipe.MaxConcurrent(),
-			Active:        s.pipe.ActiveQueries(),
-			TuplesScanned: ps.TuplesScanned,
-			TuplesEmitted: ps.TuplesEmitted,
-			PagesRead:     ps.PagesRead,
-			ScanCycles:    ps.ScanCycles,
-			FilterOrder:   ps.FilterOrder,
-		},
+		Pipeline:     pipeline,
 		Admission: AdmissionStats{
 			Depth:          as.Depth,
 			Running:        as.Running,
@@ -357,15 +397,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 		Queries: make(map[string]int),
 	}
-	for _, f := range ps.Filters {
-		out.Pipeline.Filters = append(out.Pipeline.Filters, FilterStats{
-			Dimension: f.Dimension,
-			Stored:    f.Stored,
-			TuplesIn:  f.TuplesIn,
-			Probes:    f.Probes,
-			Drops:     f.Drops,
-			DropRate:  f.DropRate(),
-		})
+	for _, st := range perShard {
+		out.Shards = append(out.Shards, wireStats(st))
 	}
 	for name, cs := range as.PerClient {
 		c := ClientStats{

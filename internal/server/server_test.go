@@ -14,33 +14,53 @@ import (
 	"cjoin/internal/ref"
 	"cjoin/internal/server"
 	"cjoin/internal/server/client"
+	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
 )
 
 type testEnv struct {
 	ds   *ssb.Dataset
-	pipe *core.Pipeline
+	exec core.Executor
 	srv  *server.Server
 	ts   *httptest.Server
 	cl   *client.Client
 }
 
 func startServer(t testing.TB, rows, maxConc int, dc disk.Config, acfg admission.Config) *testEnv {
+	return startServerSharded(t, rows, maxConc, 1, dc, acfg)
+}
+
+// startServerSharded runs the service layer over a sharded execution
+// tier (shards = 1 degenerates to the single pipeline) — the same wiring
+// cjoind -shards uses.
+func startServerSharded(t testing.TB, rows, maxConc, shards int, dc disk.Config, acfg admission.Config) *testEnv {
 	t.Helper()
 	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: rows, Seed: 11, Disk: dc})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipe, err := core.NewPipeline(ds.Star, core.Config{MaxConcurrent: maxConc, Workers: 2})
-	if err != nil {
-		t.Fatal(err)
+	var exec core.Executor
+	if shards > 1 {
+		g, err := shard.New(ds.Star, shard.Config{Shards: shards, Core: core.Config{MaxConcurrent: maxConc, Workers: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		t.Cleanup(g.Stop)
+		exec = g
+	} else {
+		pipe, err := core.NewPipeline(ds.Star, core.Config{MaxConcurrent: maxConc, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe.Start()
+		t.Cleanup(pipe.Stop)
+		exec = pipe
 	}
-	pipe.Start()
-	t.Cleanup(pipe.Stop)
-	srv := server.New(ds.Star, ds.Txn, pipe, server.Config{Admission: acfg})
+	srv := server.New(ds.Star, ds.Txn, exec, server.Config{Admission: acfg})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return &testEnv{ds: ds, pipe: pipe, srv: srv, ts: ts, cl: client.New(ts.URL)}
+	return &testEnv{ds: ds, exec: exec, srv: srv, ts: ts, cl: client.New(ts.URL)}
 }
 
 func workloadSQL(t testing.TB, ds *ssb.Dataset, n int) []string {
@@ -331,4 +351,104 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	if !st.Draining {
 		t.Fatal("stats does not report draining")
 	}
+}
+
+// TestEndToEndShardedOverload is the shard-enabled acceptance scenario:
+// cjoind's -shards wiring (4 fact-partitioned pipelines behind one
+// admission queue and HTTP API) under 3x-capacity offered load. Nothing
+// may be rejected, every result must equal a direct in-process reference
+// execution, /stats must expose per-shard pipeline counters without
+// racing startup or drain, and the drain must complete cleanly.
+func TestEndToEndShardedOverload(t *testing.T) {
+	const maxConc, shards = 4, 4
+	env := startServerSharded(t, 1600, maxConc, shards, disk.Config{}, admission.Config{MaxQueue: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Hammer /stats concurrently with submissions and the final drain —
+	// the snapshot-discipline regression check.
+	statsDone := make(chan struct{})
+	statsStop := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		for {
+			select {
+			case <-statsStop:
+				return
+			default:
+				if _, err := env.cl.Stats(ctx); err != nil {
+					t.Errorf("stats during load: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	sqls := workloadSQL(t, env.ds, 3*maxConc)
+	queries := make([]*client.Query, len(sqls))
+	for i, sqlText := range sqls {
+		q, err := env.cl.Submit(ctx, sqlText)
+		if err != nil {
+			t.Fatalf("submit %d rejected: %v", i, err)
+		}
+		queries[i] = q
+	}
+	for i, q := range queries {
+		res, err := q.Result(ctx)
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if res.Error != "" {
+			t.Fatalf("query %d failed: %s", i, res.Error)
+		}
+		b, err := query.ParseBind(sqls[i], env.ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Execute(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows := renderRows(server.DecodeResults(b, want))
+		gotRows := renderRows(res.Rows)
+		if len(gotRows) != len(wantRows) {
+			t.Fatalf("query %d: %d rows, reference %d", i, len(gotRows), len(wantRows))
+		}
+		for r := range gotRows {
+			if gotRows[r] != wantRows[r] {
+				t.Fatalf("query %d row %d:\n got %s\nwant %s", i, r, gotRows[r], wantRows[r])
+			}
+		}
+	}
+
+	st, err := env.cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Rejected != 0 || st.Admission.Completed < int64(len(sqls)) {
+		t.Fatalf("admission stats: %+v", st.Admission)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("/stats reports %d shards, want %d", len(st.Shards), shards)
+	}
+	var shardPages, shardScanned int64
+	for i, sh := range st.Shards {
+		if sh.PagesRead == 0 {
+			t.Fatalf("shard %d read no pages: %+v", i, sh)
+		}
+		shardPages += sh.PagesRead
+		shardScanned += sh.TuplesScanned
+	}
+	if shardPages != st.Pipeline.PagesRead || shardScanned != st.Pipeline.TuplesScanned {
+		t.Fatalf("per-shard sums (%d pages, %d tuples) disagree with merged pipeline stats (%d, %d)",
+			shardPages, shardScanned, st.Pipeline.PagesRead, st.Pipeline.TuplesScanned)
+	}
+
+	dctx, dcancel := context.WithTimeout(ctx, 60*time.Second)
+	defer dcancel()
+	if err := env.srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	close(statsStop)
+	<-statsDone
 }

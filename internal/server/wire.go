@@ -130,6 +130,9 @@ type StatsResponse struct {
 	Draining     bool           `json:"draining"`
 	Pipeline     PipelineStats  `json:"pipeline"`
 	Admission    AdmissionStats `json:"admission"`
+	// Shards breaks Pipeline down per shard when the executor is a
+	// sharded group (cjoind -shards > 1); absent on a single pipeline.
+	Shards []PipelineStats `json:"shards,omitempty"`
 	// Queries counts tracked queries by state.
 	Queries map[string]int `json:"queries"`
 }

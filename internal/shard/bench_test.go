@@ -1,0 +1,65 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+	"cjoin/internal/shard"
+	"cjoin/internal/ssb"
+)
+
+// BenchmarkShardScan measures one full scan cycle (Submit → Wait) of the
+// execution tier as the shard count grows, on an in-memory dataset so
+// the pipelines — not the device model — are the bottleneck. One op is
+// one complete query; rows/s is the aggregate scan rate the tier
+// sustains. "scan" is a pure continuous-scan query (COUNT(*), no
+// Filters); "probe" drives the FilterProbe hot loop through every
+// dimension Filter on every shard.
+func BenchmarkShardScan(b *testing.B) {
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 20000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []struct{ name, sql string }{
+		{"scan", "SELECT COUNT(*) AS n FROM lineorder"},
+		{"probe", `SELECT SUM(lo_revenue) AS rev, d_year, s_nation
+			FROM lineorder, date, supplier, customer, part
+			WHERE lo_orderdate = d_datekey AND lo_suppkey = s_suppkey
+			  AND lo_custkey = c_custkey AND lo_partkey = p_partkey
+			GROUP BY d_year, s_nation ORDER BY d_year, s_nation`},
+	}
+	rows := float64(ds.Lineorder.Heap.NumRows())
+	for _, q := range queries {
+		for _, nsh := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", q.name, nsh), func(b *testing.B) {
+				g, err := shard.New(ds.Star, shard.Config{Shards: nsh, Core: core.Config{MaxConcurrent: 8}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g.Start()
+				defer g.Stop()
+				bound, err := query.ParseBind(q.sql, ds.Star)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bound.Snapshot = ds.Txn.Begin()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h, err := g.Submit(bound)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res := h.Wait(); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(rows*float64(b.N)/secs, "rows/s")
+				}
+			})
+		}
+	}
+}

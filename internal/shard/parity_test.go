@@ -1,0 +1,136 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+	"cjoin/internal/shard"
+	"cjoin/internal/ssb"
+)
+
+// TestShardParityRandomSSB is the exactness property test: for randomized
+// SSB star queries — including GROUP BY, ORDER BY (group columns and
+// aggregate aliases, ASC and DESC), LIMIT, and every aggregate function
+// (SUM/COUNT/MIN/MAX/AVG) — the sharded Group must return results
+// byte-identical (group keys, aggregate ints, and counts) to both a
+// single Pipeline and the naive internal/ref executor.
+func TestShardParityRandomSSB(t *testing.T) {
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.Config{MaxConcurrent: 8, Workers: 2}
+
+	single, err := core.NewPipeline(ds.Star, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Start()
+	t.Cleanup(single.Stop)
+
+	groups := make(map[int]*shard.Group)
+	for _, n := range []int{2, 3, 4} {
+		g, err := shard.New(ds.Star, shard.Config{Shards: n, Core: ccfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		t.Cleanup(g.Stop)
+		groups[n] = g
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	w := ssb.NewWorkload(ds, 0.05, 13)
+	texts := make([]string, 0, 40)
+	for i := 0; i < 24; i++ {
+		_, text := w.Next()
+		switch rng.Intn(3) {
+		case 0:
+			// Exercise AVG partials (sum+count folded across shards).
+			text = strings.Replace(text, "SUM(", "AVG(", 1)
+		case 1:
+			// Exercise group-level LIMIT after the merge.
+			text = fmt.Sprintf("%s LIMIT %d", text, rng.Intn(5)+1)
+		}
+		texts = append(texts, text)
+	}
+	// Handcrafted queries covering every aggregate at once, ORDER BY on an
+	// aggregate alias (ties broken by the stable group-key order), and
+	// LIMIT cutting through those ties.
+	for _, extra := range []string{
+		`SELECT COUNT(*) AS n, MIN(lo_revenue) AS mn, MAX(lo_revenue) AS mx,
+		        AVG(lo_quantity) AS aq, SUM(lo_revenue) AS rev, d_year
+		 FROM lineorder, date WHERE lo_orderdate = d_datekey
+		 GROUP BY d_year ORDER BY d_year`,
+		`SELECT SUM(lo_revenue) AS rev, COUNT(*) AS n, d_year, c_nation
+		 FROM lineorder, date, customer
+		 WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey
+		 GROUP BY d_year, c_nation ORDER BY rev DESC LIMIT 7`,
+		`SELECT AVG(lo_revenue) AS arev, MAX(lo_discount) AS md, s_region
+		 FROM lineorder, supplier WHERE lo_suppkey = s_suppkey
+		 GROUP BY s_region ORDER BY md DESC, s_region LIMIT 3`,
+		`SELECT COUNT(*) AS n FROM lineorder`,
+		`SELECT MIN(lo_supplycost) AS mn, MAX(lo_supplycost) AS mx
+		 FROM lineorder, part WHERE lo_partkey = p_partkey AND p_mfgr = 'MFGR#1'`,
+	} {
+		texts = append(texts, extra)
+	}
+
+	for qi, text := range texts {
+		b, err := query.ParseBind(text, ds.Star)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", qi, text, err)
+		}
+		b.Snapshot = ds.Txn.Begin()
+
+		want, err := ref.Execute(b)
+		if err != nil {
+			t.Fatalf("query %d ref: %v", qi, err)
+		}
+
+		h, err := single.Submit(b)
+		if err != nil {
+			t.Fatalf("query %d single submit: %v", qi, err)
+		}
+		sres := h.Wait()
+		if sres.Err != nil {
+			t.Fatalf("query %d single: %v", qi, sres.Err)
+		}
+		if !ref.ResultsEqual(sres.Rows, want) {
+			t.Fatalf("query %d: single pipeline diverges from ref\nquery: %s\n got: %s\nwant: %s",
+				qi, text, dump(sres.Rows), dump(want))
+		}
+
+		for n, g := range groups {
+			gh, err := g.Submit(b)
+			if err != nil {
+				t.Fatalf("query %d group(%d) submit: %v", qi, n, err)
+			}
+			gres := gh.Wait()
+			if gres.Err != nil {
+				t.Fatalf("query %d group(%d): %v", qi, n, gres.Err)
+			}
+			if !ref.ResultsEqual(gres.Rows, want) {
+				t.Fatalf("query %d: %d-shard group diverges from ref\nquery: %s\n got: %s\nwant: %s",
+					qi, n, text, dump(gres.Rows), dump(want))
+			}
+			if !ref.ResultsEqual(gres.Rows, sres.Rows) {
+				t.Fatalf("query %d: %d-shard group diverges from single pipeline", qi, n)
+			}
+		}
+	}
+}
+
+func dump(rs []agg.Result) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "\n  group=%v ints=%v counts=%v", r.Group, r.Ints, r.Counts)
+	}
+	return sb.String()
+}

@@ -1,0 +1,429 @@
+// Package shard runs N fact-partitioned CJOIN pipelines behind one
+// core.Executor — the horizontal scaling tier over the single-pipeline
+// operator.
+//
+// The paper's CJOIN bounds throughput at one pipeline's continuous scan
+// rate: every registered query rides the same scan, so adding cores past
+// the Stage thread sweet spot buys nothing. Group breaks that bound the
+// way partitioned analytic engines do: the fact pages are dealt round-
+// robin (strided) across N inner Pipelines, each with its own continuous
+// scan, dimension Filters, and Stage layout. A logical query is broadcast
+// to every shard — the same admission Algorithm 1 runs N times, loading
+// the same dimension predicate results into each shard's Filters — and
+// each shard aggregates the fact tuples of its own partition. When all
+// shards complete the cycle, the per-shard partial aggregates are merged
+// associatively (agg.Merge), and ORDER BY / LIMIT are applied once at the
+// group level, so results are exactly those of a single pipeline over the
+// whole fact table.
+//
+// The strided page assignment keeps every shard's page positions stable
+// as the fact heap grows (page p always belongs to shard p mod N, at
+// shard-local index p div N), preserving the §3.3.3 requirement that the
+// continuous scan can start and finalize queries at exact positions.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/catalog"
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+)
+
+// Config tunes a Group.
+type Config struct {
+	// Shards is the number of inner pipelines. <= 1 means a single
+	// pipeline (no page striding).
+	Shards int
+	// Core configures each inner pipeline. Workers is the total Stage
+	// thread budget for the whole group and is divided evenly across
+	// shards (minimum 1 per shard); FactSource, if set, is the base
+	// source the pages of which are strided across shards.
+	Core core.Config
+}
+
+// Group is a sharded executor: one logical CJOIN operator composed of N
+// fact-partitioned pipelines. It implements core.Executor.
+type Group struct {
+	star  *catalog.Star
+	pipes []*core.Pipeline
+
+	// mu guards lifecycle transitions so Stats/ShardStats snapshots never
+	// race Start or Stop — the same snapshot discipline the admission
+	// queue applies to its counters.
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+var _ core.Executor = (*Group)(nil)
+
+// New builds a Group of cfg.Shards pipelines over the star schema. Call
+// Start before Submit.
+func New(star *catalog.Star, cfg Config) (*Group, error) {
+	n := cfg.Shards
+	if n <= 1 {
+		n = 1
+	}
+	if star.PartCol >= 0 && n > 1 {
+		// Page striding rides the FactSource override, which a
+		// range-partitioned star cannot take (partition pruning owns the
+		// scan order there).
+		return nil, fmt.Errorf("shard: a range-partitioned star cannot be page-sharded (got %d shards)", n)
+	}
+	workers := cfg.Core.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU() / 2
+	}
+	perShard := workers / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	var base core.PageSource = star.Fact.Heap
+	if cfg.Core.FactSource != nil {
+		base = cfg.Core.FactSource
+	}
+	g := &Group{star: star}
+	for i := 0; i < n; i++ {
+		cc := cfg.Core
+		cc.Workers = perShard
+		if n > 1 {
+			cc.FactSource = &stridedSource{src: base, offset: i, stride: n}
+		}
+		p, err := core.NewPipeline(star, cc)
+		if err != nil {
+			for _, built := range g.pipes {
+				built.Stop()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		g.pipes = append(g.pipes, p)
+	}
+	return g, nil
+}
+
+// NumShards returns the number of inner pipelines.
+func (g *Group) NumShards() int { return len(g.pipes) }
+
+// Start launches every shard pipeline.
+func (g *Group) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return
+	}
+	for _, p := range g.pipes {
+		p.Start()
+	}
+	g.started = true
+}
+
+// Stop shuts every shard down in parallel. In-flight queries receive
+// ErrPipelineStopped.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.stopped = true
+	g.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range g.pipes {
+		wg.Add(1)
+		go func(p *core.Pipeline) { defer wg.Done(); p.Stop() }(p)
+	}
+	wg.Wait()
+}
+
+// MaxConcurrent returns the group's maxConc bound. Every logical query
+// occupies one slot on every shard, so group capacity equals per-shard
+// capacity.
+func (g *Group) MaxConcurrent() int { return g.pipes[0].MaxConcurrent() }
+
+// ActiveQueries returns the number of queries currently registered
+// (the maximum across shards: shards retire a finishing query at
+// slightly different times).
+func (g *Group) ActiveQueries() int {
+	n := 0
+	for _, p := range g.pipes {
+		if a := p.ActiveQueries(); a > n {
+			n = a
+		}
+	}
+	return n
+}
+
+// Quiesce blocks until no queries are in flight on any shard.
+func (g *Group) Quiesce() {
+	for _, p := range g.pipes {
+		p.Quiesce()
+	}
+}
+
+// Submit broadcasts the query to every shard (Algorithm 1 per shard) and
+// returns a handle that gathers and merges the per-shard partials.
+func (g *Group) Submit(q *query.Bound) (core.Handle, error) {
+	return g.SubmitCtx(context.Background(), q)
+}
+
+// SubmitCtx is Submit with a context governing admission.
+func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, error) {
+	if len(g.pipes) == 1 {
+		return g.pipes[0].SubmitCtx(ctx, q)
+	}
+	start := time.Now()
+
+	// Shards aggregate partials: ORDER BY and LIMIT must not truncate a
+	// shard's groups before the merge, so they are stripped here and
+	// re-applied once over the merged results. The Bound is otherwise
+	// read-only during execution and safely shared by all shards.
+	pq := *q
+	pq.OrderBy = nil
+	pq.Limit = -1
+
+	subs := make([]core.Handle, len(g.pipes))
+	errs := make([]error, len(g.pipes))
+	var wg sync.WaitGroup
+	for i := range g.pipes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subs[i], errs[i] = g.pipes[i].SubmitCtx(ctx, &pq)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Partial admission: roll back the shards that accepted so no
+			// slot leaks (their handles are otherwise unreachable).
+			for _, sh := range subs {
+				if sh != nil {
+					sh.Cancel()
+				}
+			}
+			return nil, err
+		}
+	}
+
+	h := &groupHandle{
+		bound:      q,
+		subs:       subs,
+		submission: time.Since(start),
+		resultCh:   make(chan core.QueryResult, 1),
+		done:       make(chan struct{}),
+	}
+	go h.gather()
+	return h, nil
+}
+
+// Stats returns group-wide counters: scan and filter activity summed
+// across shards (Stored sums too — each shard owns its own copy of the
+// dimension hash tables), with shard 0's filter order as representative.
+func (g *Group) Stats() core.Stats {
+	merged, _ := g.StatsWithShards()
+	return merged
+}
+
+// StatsWithShards returns the per-shard counters and their merge derived
+// from one snapshot, so the breakdown always sums exactly to the totals
+// — the consistency /stats promises its consumers.
+func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
+	per := g.ShardStats()
+	var out core.Stats
+	for i, s := range per {
+		out.TuplesScanned += s.TuplesScanned
+		out.TuplesEmitted += s.TuplesEmitted
+		out.PagesRead += s.PagesRead
+		out.ScanCycles += s.ScanCycles
+		if i == 0 {
+			out.FilterOrder = s.FilterOrder
+			out.Filters = append([]core.FilterStats(nil), s.Filters...)
+			continue
+		}
+		for j := range s.Filters {
+			if j >= len(out.Filters) {
+				break
+			}
+			out.Filters[j].Stored += s.Filters[j].Stored
+			out.Filters[j].TuplesIn += s.Filters[j].TuplesIn
+			out.Filters[j].Probes += s.Filters[j].Probes
+			out.Filters[j].Drops += s.Filters[j].Drops
+		}
+	}
+	return out, per
+}
+
+// ShardStats snapshots every shard pipeline's counters, index-aligned
+// with the shard topology. Safe to call concurrently with startup and
+// drain.
+func (g *Group) ShardStats() []core.Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]core.Stats, len(g.pipes))
+	for i, p := range g.pipes {
+		out[i] = p.Stats()
+	}
+	return out
+}
+
+// groupHandle is the core.Handle over one broadcast query: it gathers
+// per-shard partial aggregates, merges them, and applies the original
+// query's ORDER BY / LIMIT once.
+type groupHandle struct {
+	bound      *query.Bound
+	subs       []core.Handle
+	submission time.Duration
+
+	resultCh  chan core.QueryResult
+	done      chan struct{}
+	delivered atomic.Bool
+	canceled  atomic.Bool
+}
+
+var _ core.Handle = (*groupHandle)(nil)
+
+func (h *groupHandle) deliver(res core.QueryResult) {
+	if h.delivered.CompareAndSwap(false, true) {
+		h.resultCh <- res
+	}
+}
+
+// gather is the scatter/gather tail: wait for every shard, merge the
+// partials, sort and truncate once, deliver, then close done after every
+// shard slot has been recycled.
+func (h *groupHandle) gather() {
+	parts := make([][]agg.Result, len(h.subs))
+	var firstErr error
+	for i, sh := range h.subs {
+		res := sh.Wait()
+		if res.Err != nil && firstErr == nil {
+			firstErr = res.Err
+		}
+		parts[i] = res.Rows
+	}
+	if firstErr != nil {
+		// One shard failed or was canceled: retire the query everywhere
+		// (idempotent for shards already done) and surface the first
+		// error.
+		for _, sh := range h.subs {
+			sh.Cancel()
+		}
+		h.deliver(core.QueryResult{Err: firstErr})
+	} else {
+		rows := agg.Merge(h.bound.Aggs, parts...)
+		query.SortResults(rows, h.bound.OrderBy)
+		rows = h.bound.ApplyLimit(rows)
+		h.deliver(core.QueryResult{Rows: rows})
+	}
+	for _, sh := range h.subs {
+		<-sh.Done()
+	}
+	close(h.done)
+}
+
+// Slot returns shard 0's query identifier (slots are per-shard; shard 0
+// is the representative).
+func (h *groupHandle) Slot() int { return h.subs[0].Slot() }
+
+// Wait blocks until every shard completes and returns the merged result.
+func (h *groupHandle) Wait() core.QueryResult { return <-h.resultCh }
+
+// Done returns a channel closed once every shard has recycled the
+// query's slot.
+func (h *groupHandle) Done() <-chan struct{} { return h.done }
+
+// Cancel abandons the query on every shard; ErrQueryCanceled is
+// delivered immediately.
+func (h *groupHandle) Cancel() bool {
+	if !h.delivered.CompareAndSwap(false, true) {
+		return false
+	}
+	h.canceled.Store(true)
+	h.resultCh <- core.QueryResult{Err: core.ErrQueryCanceled}
+	for _, sh := range h.subs {
+		sh.Cancel()
+	}
+	return true
+}
+
+// Canceled reports whether the query was abandoned via Cancel.
+func (h *groupHandle) Canceled() bool { return h.canceled.Load() }
+
+// PagesScanned sums the fact pages charged to the query across shards.
+func (h *groupHandle) PagesScanned() int64 {
+	var n int64
+	for _, sh := range h.subs {
+		n += sh.PagesScanned()
+	}
+	return n
+}
+
+// Progress averages shard progress; strided partitioning keeps shard
+// page counts within one page of each other, so the unweighted mean is
+// accurate.
+func (h *groupHandle) Progress() float64 {
+	var sum float64
+	for _, sh := range h.subs {
+		sum += sh.Progress()
+	}
+	return sum / float64(len(h.subs))
+}
+
+// ETA is the slowest shard's estimate — the group completes when its
+// last shard does. ok only once every shard has an estimate.
+func (h *groupHandle) ETA() (time.Duration, bool) {
+	if h.delivered.Load() {
+		return 0, true
+	}
+	var max time.Duration
+	for _, sh := range h.subs {
+		eta, ok := sh.ETA()
+		if !ok {
+			return 0, false
+		}
+		if eta > max {
+			max = eta
+		}
+	}
+	return max, true
+}
+
+// Submission is the broadcast registration latency: from SubmitCtx entry
+// until the slowest shard's query-start control tuple was in its
+// pipeline.
+func (h *groupHandle) Submission() time.Duration { return h.submission }
+
+// stridedSource exposes pages offset, offset+stride, offset+2*stride, …
+// of an underlying source as one shard's continuous-scan input. Shard
+// page j maps to base page offset + j*stride, a position that never
+// changes as the base grows — appended tail pages join the owning
+// shard's cycle at a fresh, stable position, exactly like a growing heap
+// under a single pipeline.
+type stridedSource struct {
+	src            core.PageSource
+	offset, stride int
+}
+
+var _ core.PageSource = (*stridedSource)(nil)
+
+func (s *stridedSource) NumCols() int     { return s.src.NumCols() }
+func (s *stridedSource) RowsPerPage() int { return s.src.RowsPerPage() }
+
+func (s *stridedSource) NumPages() int {
+	n := s.src.NumPages()
+	if n <= s.offset {
+		return 0
+	}
+	return (n - s.offset + s.stride - 1) / s.stride
+}
+
+func (s *stridedSource) ReadPage(page int, dst []int64, scratch []byte) (int, error) {
+	return s.src.ReadPage(s.offset+page*s.stride, dst, scratch)
+}

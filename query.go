@@ -40,7 +40,7 @@ func (p *Pipeline) QueryAt(sql string, snap Snapshot) (*RunningQuery, error) {
 // RunningQuery is a query registered with a pipeline.
 type RunningQuery struct {
 	w     *Warehouse
-	h     *core.Handle
+	h     core.Handle
 	bound *query.Bound
 }
 
@@ -59,7 +59,7 @@ func (q *RunningQuery) Progress() float64 { return q.h.Progress() }
 
 // SubmissionTime is how long registration took (the paper's submission
 // time metric).
-func (q *RunningQuery) SubmissionTime() time.Duration { return q.h.Submission }
+func (q *RunningQuery) SubmissionTime() time.Duration { return q.h.Submission() }
 
 // ETA estimates time to completion from the current scan rate (§3.2.3 of
 // the paper). ok is false until the first progress is observable.
