@@ -14,7 +14,7 @@ import (
 // The FilterProbe benchmarks isolate the CJOIN hot loop — one hash probe
 // and one bitwise AND per fact tuple per dimension (§3.2.2) — outside
 // the pipeline, comparing the lock-free dimht store against the legacy
-// map baseline at both bit-vector widths. Setup admits a query mix where
+// map baseline across the bit-vector width sweep. Setup admits a query mix where
 // every probe hits (select-all predicates), so the batch is a fixed
 // point of filterBatch and each iteration measures the pure probe path.
 
@@ -71,7 +71,7 @@ func benchBatch(maxConc int) *batch {
 }
 
 func BenchmarkFilterProbe(b *testing.B) {
-	for _, maxConc := range []int{64, 256} {
+	for _, maxConc := range []int{64, 128, 256} {
 		for _, impl := range []struct {
 			name   string
 			legacy bool
