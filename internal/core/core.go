@@ -28,6 +28,8 @@ package core
 import (
 	"runtime"
 	"time"
+
+	"cjoin/internal/dimplane"
 )
 
 // Layout selects how Filters are boxed into Stages (§4).
@@ -97,9 +99,21 @@ type Config struct {
 	// e.g. a column-store scan/merge (§5). Row width must match the
 	// star's fact schema. Incompatible with partitioned stars.
 	FactSource PageSource
+	// Plane is the shared dimension plane this pipeline probes. Nil
+	// means the pipeline constructs and owns a private plane (the
+	// single-pipeline, N=1 case). internal/shard.Group builds one plane
+	// for all its shards and drives it via Plane.Admit +
+	// Pipeline.Activate, so dimension admission runs once per logical
+	// query regardless of shard count. A non-nil plane must be built
+	// over the same star with the same MaxConcurrent.
+	Plane *dimplane.Plane
 }
 
-func (c Config) normalize() Config {
+// Normalized fills zero fields with the pipeline defaults. Exported so
+// executors composing pipelines (internal/shard) can size shared
+// structures — the dimension plane above all — from the same effective
+// configuration NewPipeline will use.
+func (c Config) Normalized() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 64
 	}

@@ -1,205 +1,79 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
-	"cjoin/internal/bitvec"
 	"cjoin/internal/catalog"
 	"cjoin/internal/dimht"
-	"cjoin/internal/expr"
-	"cjoin/internal/storage"
+	"cjoin/internal/dimplane"
 )
 
-// dimTable abstracts the Filter's per-dimension store: the hash table
-// HD_j plus the complement bitmap b_Dj (bit i set iff active query i does
-// not reference D_j), which doubles as the filtering vector for fact
-// tuples whose dimension tuple is absent from the table and as the
-// probe-skip mask (§3.2.2).
+// dimState is the probe-side half of one dimension's Filter: schema
+// wiring, per-pipeline run-time statistics for on-the-fly Filter ordering
+// (§3.4), and a handle on the shared store owned by the executor's
+// dimension plane (internal/dimplane).
 //
-// Two implementations exist: cowTable (default) publishes copy-on-write
-// dimht snapshots so the probe path is lock-free, and mapTable keeps the
-// original map[int64]*dimEntry under an RWMutex as an ablation baseline
-// (Config.LegacyMapFilter).
-type dimTable interface {
-	refCount() int
-	size() int
-	// admitNonRef marks query slot as active but non-referencing: set
-	// bit slot in b_Dj and in every stored entry (§3.2.1's implicit TRUE
-	// predicate).
-	admitNonRef(slot int)
-	// admitRef installs the rows selected by the query's dimension
-	// predicate and sets bit slot on each (Algorithm 1).
-	admitRef(slot, keyCol int, rows [][]int64)
-	// remove clears bit slot everywhere and garbage-collects entries
-	// selected by no remaining referencing query (Algorithm 2). It
-	// reports whether the table emptied.
-	remove(slot int, referenced bool) (emptied bool)
-	// filterBatch probes the table for every tuple in the batch, ANDs
-	// bit-vectors, attaches joining dimension rows, compacts the batch
-	// in place (§3.2.2), and accumulates d's probe/drop statistics.
-	filterBatch(d *dimState, b *batch)
-	// forEach visits every stored entry; the bit-vector aliases internal
-	// storage and must not be modified or retained.
-	forEach(fn func(key int64, row []int64, bv bitvec.Vec) bool)
-	// forceRefs overrides the reference count (test plumbing only).
-	forceRefs(n int)
-}
-
-// dimState is the Filter state for one dimension table: schema wiring,
-// the pluggable store, and run-time statistics for on-the-fly Filter
-// ordering (§3.4).
+// The write side — admission, removal, slot lifecycle — lives entirely in
+// dimplane.Plane and runs exactly once per logical query no matter how
+// many pipelines probe the store. This dimState only reads: on the
+// default path it pins an immutable dimht snapshot per batch (lock-free),
+// on the legacy ablation path it holds the MapStore read lock per batch.
 type dimState struct {
 	index  int // dimension position within the star
 	table  *catalog.Table
 	fkCol  int
 	keyCol int
-	words  int
 
 	noSkip bool // ablation: disable the probe-skip optimization
 
-	tab dimTable
+	store dimplane.Store
+	// Exactly one of cow/mp is non-nil, binding the probe loop at
+	// construction instead of type-switching per batch.
+	cow *dimplane.CowStore
+	mp  *dimplane.MapStore
 
 	tuplesIn atomic.Int64
 	probes   atomic.Int64
 	drops    atomic.Int64
 }
 
-func newDimState(star *catalog.Star, index, maxConc int, legacyMap bool) *dimState {
+func newDimState(star *catalog.Star, index int, store dimplane.Store) *dimState {
 	d := &dimState{
 		index:  index,
 		table:  star.Dims[index],
 		fkCol:  star.FKCol[index],
 		keyCol: star.KeyCol[index],
-		words:  bitvec.Words(maxConc),
+		store:  store,
 	}
-	ncols := star.Dims[index].Heap.NumCols()
-	if legacyMap {
-		d.tab = newMapTable(maxConc)
-	} else {
-		d.tab = &cowTable{t: dimht.New(d.words, ncols)}
+	switch st := store.(type) {
+	case *dimplane.CowStore:
+		d.cow = st
+	case *dimplane.MapStore:
+		d.mp = st
+	default:
+		// Fail at construction, not with a nil-pointer panic inside a
+		// Stage worker: the probe loops are bound to the two concrete
+		// store layouts.
+		panic(fmt.Sprintf("core: unsupported dimension store %T", store))
 	}
 	return d
 }
 
 // refCount returns the number of active queries referencing the
-// dimension.
-func (d *dimState) refCount() int { return d.tab.refCount() }
+// dimension (shared plane state, identical across pipelines).
+func (d *dimState) refCount() int { return d.store.RefCount() }
 
 // size returns the number of stored dimension tuples.
-func (d *dimState) size() int { return d.tab.size() }
-
-// admit implements the per-dimension half of Algorithm 1 for query slot
-// n. If the query references this dimension, pred selects the dimension
-// tuples to load (σ_cnj(D_j)); otherwise pred is nil and the dimension
-// merely marks the query as non-referencing.
-//
-// Invariant on entry (established by remove): bit n is clear in bDj and
-// in every stored entry.
-func (d *dimState) admit(slot int, pred expr.Node) error {
-	if pred == nil {
-		d.tab.admitNonRef(slot)
-		return nil
-	}
-
-	// Evaluate the dimension query before mutating anything (the paper
-	// issues the predicate query to the underlying engine): collect
-	// selected rows first, then install them, so a scan error leaves the
-	// table untouched.
-	var selected [][]int64
-	sc := storage.NewScanner(d.table.Heap)
-	for row, ok := sc.Next(); ok; row, ok = sc.Next() {
-		if expr.EvalRow(pred, row) {
-			cp := make([]int64, len(row))
-			copy(cp, row)
-			selected = append(selected, cp)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	d.tab.admitRef(slot, d.keyCol, selected)
-	return nil
-}
-
-// remove implements the per-dimension half of Algorithm 2 for query slot
-// n: clear bit n everywhere and garbage-collect entries selected by no
-// remaining referencing query. An entry is dead when it has no set bit
-// belonging to a query that references this dimension — i.e. when
-// (b_δ AND NOT b_Dj) == 0, since b_Dj holds exactly the bits of active
-// non-referencing queries.
-func (d *dimState) remove(slot int, referenced bool) (emptied bool) {
-	return d.tab.remove(slot, referenced)
-}
+func (d *dimState) size() int { return d.store.Len() }
 
 // filterBatch runs the Filter over one batch.
-func (d *dimState) filterBatch(b *batch) { d.tab.filterBatch(d, b) }
-
-// selectedKeyRange returns the min and max stored key carrying the
-// query's bit — used for partition pruning (§5). any is false when the
-// query selects no stored tuple.
-func (d *dimState) selectedKeyRange(slot int) (minKey, maxKey int64, any bool) {
-	d.tab.forEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
-		if !bv.Get(slot) {
-			return true
-		}
-		if !any || key < minKey {
-			minKey = key
-		}
-		if !any || key > maxKey {
-			maxKey = key
-		}
-		any = true
-		return true
-	})
-	return
-}
-
-// cowTable is the default store: a dimht copy-on-write open-addressing
-// table. filterBatch probes an atomically loaded snapshot and therefore
-// takes no lock; admission and finalization build the next snapshot off
-// to the side (writers serialize inside dimht.Table).
-type cowTable struct {
-	t *dimht.Table
-}
-
-func (c *cowTable) refCount() int { return c.t.Load().Refs() }
-func (c *cowTable) size() int     { return c.t.Load().Len() }
-
-func (c *cowTable) admitNonRef(slot int) {
-	c.t.Update(func(b *dimht.Builder) {
-		b.SetMaskBit(slot)
-		b.SetBitAll(slot)
-	})
-}
-
-func (c *cowTable) admitRef(slot, keyCol int, rows [][]int64) {
-	c.t.Update(func(b *dimht.Builder) {
-		b.AddRef()
-		for _, row := range rows {
-			b.Upsert(row[keyCol], row).Set(slot)
-		}
-	})
-}
-
-func (c *cowTable) remove(slot int, referenced bool) (emptied bool) {
-	s := c.t.Update(func(b *dimht.Builder) {
-		b.ClearMaskBit(slot)
-		if referenced {
-			b.DropRef()
-		}
-		b.ClearBitAll(slot)
-		mask := b.Mask()
-		b.Retain(func(bv bitvec.Vec) bool { return !bv.AndNotIsZero(mask) })
-	})
-	return s.Len() == 0 && s.Refs() == 0
-}
-
-func (c *cowTable) forEach(fn func(key int64, row []int64, bv bitvec.Vec) bool) {
-	c.t.Load().ForEach(fn)
-}
-
-func (c *cowTable) forceRefs(n int) {
-	c.t.Update(func(b *dimht.Builder) { b.SetRefs(n) })
+func (d *dimState) filterBatch(b *batch) {
+	if d.cow != nil {
+		d.filterBatchCow(b)
+	} else {
+		d.filterBatchMap(b)
+	}
 }
 
 // slot markers for the two-pass probe. Table slots are >= 0; miss and
@@ -209,15 +83,17 @@ const (
 	slotSkip = int32(-2)
 )
 
-// filterBatch is the CJOIN hot loop. One atomic load pins a consistent
-// (table, b_Dj, refs) snapshot for the whole batch; no lock is taken.
+// filterBatchCow is the CJOIN hot loop. One atomic load pins a consistent
+// (table, b_Dj, refs) snapshot for the whole batch; no lock is taken, and
+// the snapshot stays valid however many queries the plane admits or
+// retires meanwhile.
 //
 // The loop is split into two passes over the batch — hash/probe first,
 // then AND/compact — so the probe pass issues its independent memory
 // loads back to back (the hardware can overlap the misses) instead of
 // interleaving them with the branchy compaction logic.
-func (c *cowTable) filterBatch(d *dimState, b *batch) {
-	s := c.t.Load()
+func (d *dimState) filterBatchCow(b *batch) {
+	s := d.cow.Snapshot()
 	if s.Refs() == 0 {
 		// No active query references this dimension: b_Dj covers every
 		// relevant bit, the AND is a no-op, and probing is pointless.
@@ -333,6 +209,46 @@ func filterBatchVec(d *dimState, b *batch, s *dimht.Snapshot) (probes, drops int
 	}
 	b.rows = rows[:n]
 	return
+}
+
+// filterBatchMap is the legacy ablation probe path: one read lock per
+// batch over the shared MapStore.
+func (d *dimState) filterBatchMap(b *batch) {
+	v := d.mp.View()
+	if v.Refs() == 0 {
+		v.Release()
+		return
+	}
+	mask := v.Mask()
+	in := int64(len(b.rows))
+	n := 0
+	var probes, drops int64
+	for i := range b.rows {
+		t := &b.rows[i]
+		if !d.noSkip && t.bv.AndNotIsZero(mask) {
+			b.rows[n] = b.rows[i]
+			n++
+			continue
+		}
+		probes++
+		if e := v.Lookup(t.row[d.fkCol]); e != nil {
+			t.bv.And(e.BV)
+			t.dims[d.index] = e.Row
+		} else {
+			t.bv.And(mask)
+		}
+		if t.bv.IsZero() {
+			drops++
+			continue
+		}
+		b.rows[n] = b.rows[i]
+		n++
+	}
+	b.rows = b.rows[:n]
+	v.Release()
+	d.tuplesIn.Add(in)
+	d.probes.Add(probes)
+	d.drops.Add(drops)
 }
 
 // FilterStats is a snapshot of one Filter's run-time counters.

@@ -20,8 +20,8 @@ func TestDimTableParity(t *testing.T) {
 		rounds  = 400
 	)
 	star := miniStar(t, dimRows)
-	cow := newDimState(star, 0, maxConc, false)
-	leg := newDimState(star, 0, maxConc, true)
+	cow := newTestDimState(star, 0, maxConc, false)
+	leg := newTestDimState(star, 0, maxConc, true)
 
 	rng := rand.New(rand.NewSource(20090824))
 	type admitted struct{ referenced bool }

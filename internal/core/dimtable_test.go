@@ -41,7 +41,7 @@ func forEachImpl(t *testing.T, fn func(t *testing.T, legacyMap bool)) {
 // checkEntries asserts pred over every stored entry's bit-vector.
 func checkEntries(t *testing.T, ds *dimState, what string, pred func(bv bitvec.Vec) bool) {
 	t.Helper()
-	ds.tab.forEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+	ds.store.ForEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
 		if !pred(bv) {
 			t.Fatalf("entry %d: %s (bits %v)", key, what, bv)
 		}
@@ -52,7 +52,7 @@ func checkEntries(t *testing.T, ds *dimState, what string, pred func(bv bitvec.V
 func TestDimStateAdmitReferenced(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, legacyMap bool) {
 		star := miniStar(t, 20)
-		ds := newDimState(star, 0, 8, legacyMap)
+		ds := newTestDimState(star, 0, 8, legacyMap)
 		// Query slot 3 selects v < 2 (k%5 in {0,1}): 8 of 20 rows.
 		if err := ds.admit(3, predLt(2)); err != nil {
 			t.Fatal(err)
@@ -72,7 +72,7 @@ func TestDimStateAdmitReferenced(t *testing.T) {
 func TestDimStateAdmitNonReferencing(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, legacyMap bool) {
 		star := miniStar(t, 10)
-		ds := newDimState(star, 0, 8, legacyMap)
+		ds := newTestDimState(star, 0, 8, legacyMap)
 		if err := ds.admit(1, predLt(5)); err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestDimStateAdmitNonReferencing(t *testing.T) {
 func TestDimStateRemoveGC(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, legacyMap bool) {
 		star := miniStar(t, 20)
-		ds := newDimState(star, 0, 8, legacyMap)
+		ds := newTestDimState(star, 0, 8, legacyMap)
 		if err := ds.admit(0, predLt(2)); err != nil { // 8 entries
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestDimStateSlotReuseInvariant(t *testing.T) {
 		// After remove, the slot's bit must be clear everywhere so the
 		// next admission with the same slot starts clean.
 		star := miniStar(t, 10)
-		ds := newDimState(star, 0, 8, legacyMap)
+		ds := newTestDimState(star, 0, 8, legacyMap)
 		if err := ds.admit(4, predLt(5)); err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +145,7 @@ func TestDimStateSlotReuseInvariant(t *testing.T) {
 func TestFilterBatchSemantics(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, legacyMap bool) {
 		star := miniStar(t, 10)
-		ds := newDimState(star, 0, 8, legacyMap)
+		ds := newTestDimState(star, 0, 8, legacyMap)
 		if err := ds.admit(0, predLt(1)); err != nil { // selects k%5==0: keys 0,5
 			t.Fatal(err)
 		}
@@ -203,7 +203,7 @@ func TestFilterBatchWidePath(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, legacyMap bool) {
 		const maxConc = 192
 		star := miniStar(t, 10)
-		ds := newDimState(star, 0, maxConc, legacyMap)
+		ds := newTestDimState(star, 0, maxConc, legacyMap)
 		hi := maxConc - 1                               // slot in the third word
 		if err := ds.admit(hi, predLt(1)); err != nil { // keys 0, 5
 			t.Fatal(err)
@@ -244,7 +244,7 @@ func TestFilterBatchWidePath(t *testing.T) {
 func TestFilterBatchNoRefsPassthrough(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, legacyMap bool) {
 		star := miniStar(t, 5)
-		ds := newDimState(star, 0, 8, legacyMap)
+		ds := newTestDimState(star, 0, 8, legacyMap)
 		b := newBatch(2, 2, bitvec.Words(8), 1)
 		x := b.alloc()
 		x.row[0] = 1
@@ -261,7 +261,7 @@ func TestFilterBatchNoRefsPassthrough(t *testing.T) {
 
 func TestDecayStats(t *testing.T) {
 	star := miniStar(t, 5)
-	ds := newDimState(star, 0, 8, false)
+	ds := newTestDimState(star, 0, 8, false)
 	ds.tuplesIn.Store(100)
 	ds.drops.Store(50)
 	ds.probes.Store(80)

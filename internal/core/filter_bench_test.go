@@ -43,7 +43,7 @@ func benchDimState(b *testing.B, maxConc int, legacyMap bool) *dimState {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds := newDimState(star, 0, maxConc, legacyMap)
+	ds := newTestDimState(star, 0, maxConc, legacyMap)
 	for slot := 0; slot < 12; slot++ {
 		if err := ds.admit(slot, predTrue()); err != nil {
 			b.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"cjoin/internal/agg"
 	"cjoin/internal/bitvec"
 	"cjoin/internal/catalog"
+	"cjoin/internal/dimplane"
 	"cjoin/internal/query"
 )
 
@@ -165,9 +166,15 @@ type Pipeline struct {
 	cfg  Config
 	star *catalog.Star
 
+	// plane owns the write side of the dimension state: slot allocation,
+	// admission, and removal happen there exactly once per logical query.
+	// A standalone pipeline constructs and owns a private plane (N=1);
+	// internal/shard.Group passes one shared plane to all its shards.
+	plane     *dimplane.Plane
+	ownsPlane bool
+
 	dimStates   []*dimState
 	filterOrder atomic.Pointer[[]int]
-	ids         *bitvec.Allocator
 	pool        *tuplePool
 
 	pp        *preprocessor
@@ -192,21 +199,38 @@ type Pipeline struct {
 // NewPipeline builds a CJOIN pipeline over the star schema. Call Start
 // before Submit.
 func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalized()
 	if len(star.Dims) == 0 {
 		return nil, fmt.Errorf("core: star schema has no dimensions")
+	}
+	plane := cfg.Plane
+	owns := plane == nil
+	if owns {
+		plane = dimplane.New(star, 1, dimplane.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			LegacyMap:     cfg.LegacyMapFilter,
+		})
+	} else {
+		if plane.Star() != star {
+			return nil, fmt.Errorf("core: dimension plane built over a different star schema")
+		}
+		if plane.MaxConcurrent() != cfg.MaxConcurrent {
+			return nil, fmt.Errorf("core: dimension plane has %d slots, pipeline wants %d",
+				plane.MaxConcurrent(), cfg.MaxConcurrent)
+		}
 	}
 	p := &Pipeline{
 		cfg:       cfg,
 		star:      star,
-		ids:       bitvec.NewAllocator(cfg.MaxConcurrent),
+		plane:     plane,
+		ownsPlane: owns,
 		cleanupCh: make(chan *runningQuery, cfg.MaxConcurrent+1),
 		stopCh:    make(chan struct{}),
 		pmActive:  bitvec.New(cfg.MaxConcurrent),
 		live:      make(map[int]*runningQuery),
 	}
 	for i := range star.Dims {
-		ds := newDimState(star, i, cfg.MaxConcurrent, cfg.LegacyMapFilter)
+		ds := newDimState(star, i, plane.Store(i))
 		ds.noSkip = cfg.DisableProbeSkip
 		p.dimStates = append(p.dimStates, ds)
 	}
@@ -345,14 +369,74 @@ func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink
 	}
 	start := time.Now()
 
-	// Algorithm 1 runs mostly outside the manager lock: the dimension
-	// table updates serialize per dimension (each table has its own
-	// writer lock; Filters keep probing the previous snapshot), so
-	// independent admissions proceed in parallel and submission time
-	// stays flat as concurrency grows (§6.2.2, Table 1).
-	slot, ok := p.ids.Alloc()
-	if !ok {
-		return nil, ErrTooManyQueries
+	// Algorithm 1, lines 1–16 run on the shared dimension plane, outside
+	// the manager lock: the store updates serialize per dimension
+	// (Filters keep probing the previous snapshot), so independent
+	// admissions proceed in parallel and submission time stays flat as
+	// concurrency grows (§6.2.2, Table 1).
+	slot, err := p.plane.Admit(ctx, q)
+	if err != nil {
+		if errors.Is(err, dimplane.ErrSlotsExhausted) {
+			return nil, ErrTooManyQueries
+		}
+		return nil, err
+	}
+	h, err := p.activate(ctx, q, slot, sink, start)
+	if err != nil {
+		// activate never retires the plane slot on failure (see its
+		// contract); release this pipeline's hold here — the sole hold,
+		// since submitCtx is the single-pipeline entry point. The
+		// stopped case is the exception: the query may already be
+		// registered and the shutdown sweep owns its delivery, so the
+		// plane slot is abandoned with the plane.
+		if !errors.Is(err, ErrPipelineStopped) {
+			p.plane.Retire(slot)
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled during the short installation stall: the freshly
+		// admitted query cancels through the normal path, which retires
+		// the slot at the next page boundary.
+		h.Cancel()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Activate registers a query that the shared dimension plane has already
+// admitted (slot from dimplane.Plane.Admit) with this pipeline's
+// Preprocessor — Algorithm 1, lines 17–22 — and returns its handle.
+// internal/shard.Group calls this once per shard after one plane
+// admission, which is the whole point of the plane: admit once, probe
+// everywhere.
+//
+// Retirement contract: on success, this pipeline retires the slot
+// exactly once through its normal lifecycle (Algorithm 2 cleanup). On
+// error the slot has NOT been retired and never will be by this
+// pipeline, so the caller must compensate with one Plane.Retire — except
+// for ErrPipelineStopped, where delivery is owned by the shutdown sweep
+// and the slot is abandoned with the plane.
+func (p *Pipeline) Activate(ctx context.Context, q *query.Bound, slot int) (Handle, error) {
+	if p.stopped.Load() {
+		return nil, ErrPipelineStopped
+	}
+	if q.Schema != p.star {
+		return nil, fmt.Errorf("core: query bound against a different star schema")
+	}
+	h, err := p.activate(ctx, q, slot, nil, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// activate installs an admitted query in the Preprocessor between two
+// pages (the stall window) and appends the query-start control tuple.
+// See Activate for the slot-retirement contract.
+func (p *Pipeline) activate(ctx context.Context, q *query.Bound, slot int, sink TupleSink, start time.Time) (*pipeHandle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rq := &runningQuery{
 		p:         p,
@@ -364,31 +448,9 @@ func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink
 		cleaned:   make(chan struct{}),
 	}
 
-	// Algorithm 1, lines 1–16: update complement bitmaps and dimension
-	// hash tables. Bit `slot` is guaranteed clear everywhere (cleanup
-	// invariant), so a failed admission can roll back by re-running the
-	// removal sweep.
-	for i, ds := range p.dimStates {
-		var err error
-		if q.DimRefs[i] {
-			err = ds.admit(slot, q.DimPreds[i])
-		} else {
-			err = ds.admit(slot, nil)
-		}
-		if err != nil {
-			// admit fails only before it increments the ref count, so
-			// the failing dimension itself rolls back as unreferenced.
-			for j := 0; j < i; j++ {
-				p.dimStates[j].remove(slot, q.DimRefs[j])
-			}
-			p.dimStates[i].remove(slot, false)
-			p.ids.Free(slot)
-			return nil, err
-		}
-	}
-
 	// §5 partition pruning: derive the needed partitions from the
-	// partition-key range implied by the query.
+	// partition-key range implied by the query (already installed in the
+	// plane's dimension stores).
 	if p.star.PartCol >= 0 {
 		rq.needParts = p.neededPartitions(q, slot)
 	}
@@ -400,33 +462,27 @@ func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink
 	p.live[slot] = rq
 	p.pmMu.Unlock()
 
-	// Algorithm 1, lines 17–22: install the query in the Preprocessor
-	// between two pages (the stall window) and append the query-start
-	// control tuple.
 	done := make(chan struct{})
 	select {
 	case p.pp.cmds <- ppCmd{rq: rq, done: done}:
 	case <-ctx.Done():
-		// The Preprocessor never saw the query; undo Algorithm 1 directly.
-		p.cleanup(rq)
+		// The Preprocessor never saw the query; undo the registration.
+		// The plane slot stays admitted — the caller compensates.
+		p.deregister(rq)
+		rq.markCleaned()
 		return nil, ctx.Err()
 	case <-p.stopCh:
 		return nil, ErrPipelineStopped
 	}
 	// The installation command is in flight and the stall window is
 	// bounded (one page at most), so wait for it rather than abandoning a
-	// half-installed query; a context fired meanwhile cancels cleanly.
+	// half-installed query.
 	select {
 	case <-done:
 	case <-p.stopCh:
 		return nil, ErrPipelineStopped
 	}
-	h := &pipeHandle{rq: rq, submission: time.Since(start)}
-	if err := ctx.Err(); err != nil {
-		h.Cancel()
-		return nil, err
-	}
-	return h, nil
+	return &pipeHandle{rq: rq, submission: time.Since(start)}, nil
 }
 
 // neededPartitions computes which fact partitions the query must scan by
@@ -450,7 +506,7 @@ func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
 		}
 		return need
 	}
-	minKey, maxKey, any := p.dimStates[dimIdx].selectedKeyRange(slot)
+	minKey, maxKey, any := p.plane.SelectedKeyRange(dimIdx, slot)
 	if !any {
 		return need // query selects no partition-key values: zero pages
 	}
@@ -462,28 +518,36 @@ func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
 	return need
 }
 
-// cleanup implements Algorithm 2: clear the query's bit everywhere,
-// garbage-collect dimension entries, retire unused Filters, and recycle
-// the query identifier.
+// cleanup finishes Algorithm 2 for this pipeline: drop the query from
+// the pipeline-manager state and release this pipeline's hold on the
+// plane slot. The plane performs the actual bit clearing, entry garbage
+// collection, and slot recycling when the last of its probers retires,
+// so a slot is never reused while another shard still has the query's
+// tuples in flight.
 func (p *Pipeline) cleanup(rq *runningQuery) {
-	p.pmMu.Lock()
-	retired := false
-	for i, ds := range p.dimStates {
-		was := ds.refCount() > 0
-		ds.remove(rq.slot, rq.q.DimRefs[i])
-		if was && ds.refCount() == 0 {
-			retired = true
-		}
-	}
-	if retired {
+	p.deregister(rq)
+	if p.plane.Retire(rq.slot) {
+		// Final retire: the plane just ran Algorithm 2's removal, so a
+		// dimension's shared reference count may have dropped to zero —
+		// re-derive the active-filter list. A non-final retire cannot
+		// change reference counts; sibling shards refresh their order at
+		// their next admission or final cleanup, and probing a
+		// refs==0 dimension meanwhile is a no-op.
+		p.pmMu.Lock()
 		p.rebuildFilterOrderLocked()
+		p.pmMu.Unlock()
 	}
+	rq.markCleaned()
+}
+
+// deregister removes a query from the pipeline-manager bookkeeping
+// without touching the shared plane.
+func (p *Pipeline) deregister(rq *runningQuery) {
+	p.pmMu.Lock()
 	p.pmActive.Clear(rq.slot)
 	p.inFlight--
 	delete(p.live, rq.slot)
-	p.ids.Free(rq.slot)
 	p.pmMu.Unlock()
-	rq.markCleaned()
 }
 
 // rebuildFilterOrderLocked recomputes the active-filter list, preserving
@@ -533,6 +597,17 @@ type Stats struct {
 	ScanCycles    int64
 	Filters       []FilterStats
 	FilterOrder   []string
+
+	// Dimension-plane figures. Admission runs once per logical query on
+	// the shared plane and the stores are shared by every prober, so
+	// these are reported once per plane: a standalone pipeline fills them
+	// (it owns its plane), a shard pipeline leaves them zero and the
+	// group reports the plane's figures on the merged snapshot.
+	DimAdmits      int64 // queries admitted to the plane
+	DimAdmitNanos  int64 // total wall time spent in plane admission
+	PlaneBytes     int64 // resident dimension-store bytes
+	PlanePeakBytes int64 // high-water mark of PlaneBytes
+	PlanePipelines int   // pipelines sharing the plane
 }
 
 // Stats snapshots the pipeline counters and per-filter statistics. It is
@@ -556,5 +631,16 @@ func (p *Pipeline) Stats() Stats {
 	for _, d := range *p.filterOrder.Load() {
 		s.FilterOrder = append(s.FilterOrder, p.dimStates[d].table.Name)
 	}
+	if p.ownsPlane {
+		ps := p.plane.Stats()
+		s.DimAdmits = ps.Admits
+		s.DimAdmitNanos = ps.AdmitNanos
+		s.PlaneBytes = ps.MemBytes
+		s.PlanePeakBytes = ps.PeakMemBytes
+		s.PlanePipelines = ps.Probers
+	}
 	return s
 }
+
+// Plane returns the dimension plane this pipeline probes.
+func (p *Pipeline) Plane() *dimplane.Plane { return p.plane }

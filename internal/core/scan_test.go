@@ -150,8 +150,8 @@ func TestOptimizerOrdersBySelectivity(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fake both filters active with measured drop rates: d2 drops more.
-	p.dimStates[0].tab.forceRefs(1)
-	p.dimStates[1].tab.forceRefs(1)
+	p.dimStates[0].store.ForceRefs(1)
+	p.dimStates[1].store.ForceRefs(1)
 	order := []int{0, 1}
 	p.filterOrder.Store(&order)
 	p.dimStates[0].tuplesIn.Store(1000)

@@ -114,6 +114,13 @@ func newSnapshot(capacity, words, ncols int) *Snapshot {
 // Len returns the number of stored entries.
 func (s *Snapshot) Len() int { return s.count }
 
+// MemBytes returns the resident size of this snapshot's arenas (keys,
+// row offsets, inline bit-vectors, row payload, and b_Dj).
+func (s *Snapshot) MemBytes() int64 {
+	return int64(len(s.keys))*8 + int64(len(s.offs))*4 +
+		int64(len(s.bits))*8 + int64(len(s.rows))*8 + int64(len(s.bDj))*8
+}
+
 // Words returns the bit-vector width in 64-bit words.
 func (s *Snapshot) Words() int { return s.words }
 

@@ -1,0 +1,299 @@
+// Package dimplane implements the shared dimension plane: the write side
+// of the CJOIN Filter state, factored out of the per-pipeline operator so
+// that N fact-partitioned pipelines (internal/shard) share one copy.
+//
+// CJOIN's premise is that concurrent queries share one in-flight state —
+// one dimension hash table per dimension, one query bit per slot. The
+// sharded execution tier broke half of that promise: broadcasting a
+// query to N shards re-ran dimension admission (Algorithm 1's dimension
+// half) N times, building N identical copy-on-write tables and
+// multiplying the paper's admission-cost term by shard count. The plane
+// restores admit-once semantics: slot allocation, predicate evaluation,
+// table installation, and removal (Algorithm 2's dimension half) happen
+// exactly once per logical query, and every pipeline's Filter stages
+// probe the same immutable dimht snapshots lock-free. This is the same
+// separation of update plane and scan plane that HTAP designs argue for,
+// applied inside one operator: one writer, N concurrent readers, with
+// atomic snapshot publication as the only coupling.
+//
+// Lifecycle: Admit allocates a query slot and installs the query's
+// dimension selections; each attached pipeline calls Retire(slot) when
+// its portion of the query has fully drained (Algorithm 2 cleanup), and
+// the last of the plane's probers to retire performs the actual bit
+// clearing, garbage collection, and slot recycling. Until then the slot
+// cannot be reused, so no pipeline ever probes a bit that has been
+// reassigned while its tuples are still in flight.
+package dimplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cjoin/internal/bitvec"
+	"cjoin/internal/catalog"
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+	"cjoin/internal/storage"
+)
+
+// ErrSlotsExhausted is returned by Admit when all maxConc query slots are
+// in use. The execution tier maps it to core.ErrTooManyQueries.
+var ErrSlotsExhausted = errors.New("dimplane: all query slots in use")
+
+// Config tunes a Plane.
+type Config struct {
+	// MaxConcurrent is the paper's maxConc: the bound on simultaneously
+	// admitted queries and the width of every bit-vector. Default 64.
+	MaxConcurrent int
+	// LegacyMap swaps the lock-free copy-on-write dimht stores for the
+	// original map + RWMutex baseline. For ablation benchmarks only.
+	LegacyMap bool
+}
+
+// Plane owns the dimension state shared by every pipeline of one logical
+// executor. Admission and removal serialize per dimension inside each
+// Store (so independent admissions of different queries proceed in
+// parallel, keeping submission time flat as concurrency grows, §6.2.2);
+// probers never block.
+type Plane struct {
+	star    *catalog.Star
+	cfg     Config
+	probers int
+	ids     *bitvec.Allocator
+	stores  []Store
+	slots   []slotState
+
+	admits     atomic.Int64
+	admitNanos atomic.Int64
+	peakBytes  atomic.Int64
+}
+
+// slotState is the plane's per-slot retirement ledger.
+type slotState struct {
+	// remain counts pipelines that still hold the slot; the transition to
+	// zero triggers the actual removal. Written with the admitted query's
+	// refs before activation, so the release/acquire pair on the atomic
+	// publishes refs to whichever prober retires last.
+	remain atomic.Int32
+	// refs records q.DimRefs at admission, consumed by the final Retire
+	// to drop each referenced dimension's reference count.
+	refs []bool
+}
+
+// New builds a plane over the star schema shared by `probers` pipelines:
+// each admitted slot is recycled only after Retire has been called that
+// many times (once per pipeline lifecycle).
+func New(star *catalog.Star, probers int, cfg Config) *Plane {
+	if probers < 1 {
+		probers = 1
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 64
+	}
+	words := bitvec.Words(cfg.MaxConcurrent)
+	pl := &Plane{
+		star:    star,
+		cfg:     cfg,
+		probers: probers,
+		ids:     bitvec.NewAllocator(cfg.MaxConcurrent),
+		slots:   make([]slotState, cfg.MaxConcurrent),
+	}
+	for i := range star.Dims {
+		if cfg.LegacyMap {
+			pl.stores = append(pl.stores, NewMapStore(cfg.MaxConcurrent))
+		} else {
+			pl.stores = append(pl.stores, NewCowStore(words, star.Dims[i].Heap.NumCols()))
+		}
+	}
+	for i := range pl.slots {
+		pl.slots[i].refs = make([]bool, len(star.Dims))
+	}
+	return pl
+}
+
+// Star returns the schema the plane was built over.
+func (pl *Plane) Star() *catalog.Star { return pl.star }
+
+// MaxConcurrent returns the plane's slot bound (bit-vector width).
+func (pl *Plane) MaxConcurrent() int { return pl.cfg.MaxConcurrent }
+
+// Probers returns the number of pipelines sharing the plane.
+func (pl *Plane) Probers() int { return pl.probers }
+
+// NumDims returns the number of dimension stores.
+func (pl *Plane) NumDims() int { return len(pl.stores) }
+
+// Store returns dimension i's shared store (probe side for Filters).
+func (pl *Plane) Store(i int) Store { return pl.stores[i] }
+
+// InUse returns the number of currently admitted query slots.
+func (pl *Plane) InUse() int { return pl.ids.InUse() }
+
+// SelectRows evaluates a dimension predicate σ_cnj(D_j) against the
+// dimension heap and returns copies of the selected rows — the paper
+// issues the predicate query to the underlying engine before mutating
+// any shared state, so a scan error leaves the plane untouched.
+func SelectRows(tab *catalog.Table, pred expr.Node) ([][]int64, error) {
+	var selected [][]int64
+	sc := storage.NewScanner(tab.Heap)
+	for row, ok := sc.Next(); ok; row, ok = sc.Next() {
+		if expr.EvalRow(pred, row) {
+			cp := make([]int64, len(row))
+			copy(cp, row)
+			selected = append(selected, cp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return selected, nil
+}
+
+// Admit runs the dimension half of Algorithm 1 exactly once for q: it
+// allocates a query slot, evaluates each referenced dimension's
+// predicate, installs the selected rows tagged with the slot's bit, and
+// marks the slot active-but-non-referencing in every other dimension. A
+// context canceled mid-admission (or a dimension scan error) rolls every
+// store back and frees the slot; the returned error is then ctx.Err()
+// (or the scan error).
+//
+// Invariant on entry (established by the final Retire): bit `slot` is
+// clear in every store's b_Dj and every stored entry.
+func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error) {
+	start := time.Now()
+	slot, ok := pl.ids.Alloc()
+	if !ok {
+		return -1, ErrSlotsExhausted
+	}
+	ss := &pl.slots[slot]
+	copy(ss.refs, q.DimRefs)
+	for i, st := range pl.stores {
+		err := ctx.Err()
+		if err == nil && q.DimRefs[i] {
+			var rows [][]int64
+			rows, err = SelectRows(pl.star.Dims[i], q.DimPreds[i])
+			if err == nil {
+				st.AdmitRef(slot, pl.star.KeyCol[i], rows)
+			}
+		} else if err == nil {
+			st.AdmitNonRef(slot)
+		}
+		if err != nil {
+			// Dimension i itself saw no successful Admit*, so it rolls
+			// back as unreferenced; the ones before roll back with the
+			// reference counts they took.
+			for j := 0; j < i; j++ {
+				pl.stores[j].Remove(slot, q.DimRefs[j])
+			}
+			st.Remove(slot, false)
+			pl.ids.Free(slot)
+			return -1, err
+		}
+	}
+	ss.remain.Store(int32(pl.probers))
+	pl.admits.Add(1)
+	pl.admitNanos.Add(time.Since(start).Nanoseconds())
+	pl.notePeak()
+	return slot, nil
+}
+
+// Retire releases one pipeline's hold on an admitted slot. The last of
+// the plane's probers to retire runs Algorithm 2's dimension half —
+// clear the query's bit everywhere, garbage-collect entries selected by
+// no remaining referencing query — and recycles the slot. It reports
+// whether this call performed that final removal.
+//
+// Exactly `probers` Retire calls must follow every successful Admit; a
+// surplus call panics, because it means two lifecycles believed they
+// owned the same release and a reused slot could be corrupted.
+func (pl *Plane) Retire(slot int) (final bool) {
+	ss := &pl.slots[slot]
+	n := ss.remain.Add(-1)
+	if n > 0 {
+		return false
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("dimplane: slot %d retired more times than the plane has probers", slot))
+	}
+	for i, st := range pl.stores {
+		st.Remove(slot, ss.refs[i])
+	}
+	pl.ids.Free(slot)
+	return true
+}
+
+// SelectedKeyRange returns the min and max key stored in dimension dim
+// carrying the query's bit — used for partition pruning (§5). any is
+// false when the query selects no stored tuple.
+func (pl *Plane) SelectedKeyRange(dim, slot int) (minKey, maxKey int64, any bool) {
+	pl.stores[dim].ForEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+		if !bv.Get(slot) {
+			return true
+		}
+		if !any || key < minKey {
+			minKey = key
+		}
+		if !any || key > maxKey {
+			maxKey = key
+		}
+		any = true
+		return true
+	})
+	return
+}
+
+// MemBytes sums the resident bytes of every dimension store's current
+// version. The figure is per plane — shared by all probers — which is
+// exactly why it stays ~constant in shard count.
+func (pl *Plane) MemBytes() int64 {
+	var b int64
+	for _, st := range pl.stores {
+		b += st.MemBytes()
+	}
+	return b
+}
+
+// notePeak folds the current resident size into the high-water mark.
+func (pl *Plane) notePeak() {
+	cur := pl.MemBytes()
+	for {
+		peak := pl.peakBytes.Load()
+		if cur <= peak || pl.peakBytes.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the plane's counters.
+type Stats struct {
+	// Admits counts successful Admit calls (one per logical query).
+	Admits int64
+	// AdmitNanos is the total wall time spent in Admit — the paper's
+	// "admission cost" term, now paid once per query instead of once per
+	// shard.
+	AdmitNanos int64
+	// MemBytes is the current resident size of all dimension stores.
+	MemBytes int64
+	// PeakMemBytes is the high-water mark of MemBytes, sampled at each
+	// admission.
+	PeakMemBytes int64
+	// InUse is the number of currently admitted slots.
+	InUse int
+	// Probers is the number of pipelines sharing the plane.
+	Probers int
+}
+
+// Stats snapshots the plane counters.
+func (pl *Plane) Stats() Stats {
+	return Stats{
+		Admits:       pl.admits.Load(),
+		AdmitNanos:   pl.admitNanos.Load(),
+		MemBytes:     pl.MemBytes(),
+		PeakMemBytes: pl.peakBytes.Load(),
+		InUse:        pl.ids.InUse(),
+		Probers:      pl.probers,
+	}
+}

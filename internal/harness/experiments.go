@@ -357,6 +357,61 @@ func RunTable3(cfg Config, sfs []int, n int) (Figure, error) {
 	return fig, nil
 }
 
+// RunDimAdmit measures the shared dimension plane: the same closed-loop
+// workload over 1..N fact-partitioned pipelines, reporting per-query
+// admission latency (both the end-to-end submission time and the plane's
+// own dimension-admission wall time) and the peak resident bytes of the
+// dimension stores. Before the plane, broadcasting a query re-ran
+// Algorithm 1's dimension half on every shard — admission latency and
+// dim-table memory both grew ×N; with admit-once both should stay
+// roughly flat in shard count. Runs on an in-memory device unless a disk
+// is modeled explicitly, for the same reason as RunShardScale.
+func RunDimAdmit(cfg Config, shards []int, n int) (Figure, error) {
+	if !cfg.Disk.Enabled() {
+		cfg.MemDisk = true
+	}
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4, 8}
+	}
+	if n <= 0 {
+		n = 16
+	}
+	fig := Figure{
+		ID:     "dimadmit",
+		Title:  fmt.Sprintf("Dimension plane: admission cost and resident bytes vs shard count (%d-query closed loop)", n),
+		XLabel: "shards",
+		YLabel: "µs per admission, bytes",
+	}
+	sub := Series{Name: "submission (µs/query)"}
+	admit := Series{Name: "plane admit (µs/query)"}
+	bytesS := Series{Name: "plane peak bytes"}
+	admits := Series{Name: "plane admissions"}
+	for _, ns := range shards {
+		ecfg := cfg
+		ecfg.Shards = ns
+		env, err := NewEnv(ecfg)
+		if err != nil {
+			return fig, err
+		}
+		m, st, err := env.runExecutor("CJOIN", n, core.Config{}, "")
+		if err != nil {
+			return fig, fmt.Errorf("shards=%d: %w", ns, err)
+		}
+		var admitMicros float64
+		if st.DimAdmits > 0 {
+			admitMicros = float64(st.DimAdmitNanos) / float64(st.DimAdmits) / 1e3
+		}
+		fig.X = append(fig.X, float64(ns))
+		sub.Y = append(sub.Y, float64(m.Submission.Microseconds()))
+		admit.Y = append(admit.Y, admitMicros)
+		bytesS.Y = append(bytesS.Y, float64(st.PlanePeakBytes))
+		admits.Y = append(admits.Y, float64(st.DimAdmits))
+	}
+	fig.Series = []Series{sub, admit, bytesS, admits}
+	return fig, nil
+}
+
 // RunShardScale measures the sharded execution tier: the same closed-loop
 // workload at concurrency n, run over 1..N fact-partitioned pipelines.
 // It reports throughput and the aggregate scan rate (pages consumed per

@@ -134,6 +134,22 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// statusCoder lets typed errors carry their own HTTP mapping — e.g.
+// shard.RangePartitionedError reports 422 Unprocessable Entity, since
+// the request is well-formed but the executor topology cannot run it.
+// The server depends on the interface only, never on the error types.
+type statusCoder interface{ HTTPStatus() int }
+
+// errStatus returns the error's own HTTP status when it carries one,
+// else fallback.
+func errStatus(err error, fallback int) int {
+	var sc statusCoder
+	if errors.As(err, &sc) {
+		return sc.HTTPStatus()
+	}
+	return fallback
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -171,7 +187,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case err != nil:
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, errStatus(err, http.StatusInternalServerError), "%v", err)
 		return
 	}
 
@@ -300,8 +316,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		ElapsedMillis: time.Since(sv.submitted).Milliseconds(),
 	}
 	if res.Err != nil {
+		// Most failures (cancellation, expiry, pipeline stop) stay 200
+		// with the error in the body — the query was served, its outcome
+		// is the resource. Typed errors that know their HTTP status
+		// (e.g. an executor rejecting the query as unprocessable, 422)
+		// surface it here, since admission dispatch is asynchronous and
+		// the submit response has long been sent.
 		out.Error = res.Err.Error()
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, errStatus(res.Err, http.StatusOK), out)
 		return
 	}
 	out.Columns = append(append([]string{}, sv.bound.GroupNames...), sv.bound.AggNames...)
@@ -336,11 +358,16 @@ type shardStatser interface {
 // wireStats converts a core.Stats snapshot to its wire form.
 func wireStats(ps core.Stats) PipelineStats {
 	out := PipelineStats{
-		TuplesScanned: ps.TuplesScanned,
-		TuplesEmitted: ps.TuplesEmitted,
-		PagesRead:     ps.PagesRead,
-		ScanCycles:    ps.ScanCycles,
-		FilterOrder:   ps.FilterOrder,
+		TuplesScanned:  ps.TuplesScanned,
+		TuplesEmitted:  ps.TuplesEmitted,
+		PagesRead:      ps.PagesRead,
+		ScanCycles:     ps.ScanCycles,
+		FilterOrder:    ps.FilterOrder,
+		DimAdmits:      ps.DimAdmits,
+		DimAdmitMicros: ps.DimAdmitNanos / 1000,
+		PlaneBytes:     ps.PlaneBytes,
+		PlanePeakBytes: ps.PlanePeakBytes,
+		PlanePipelines: ps.PlanePipelines,
 	}
 	for _, f := range ps.Filters {
 		out.Filters = append(out.Filters, FilterStats{

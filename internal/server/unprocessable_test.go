@@ -1,0 +1,117 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cjoin/internal/admission"
+	"cjoin/internal/core"
+	"cjoin/internal/disk"
+	"cjoin/internal/query"
+	"cjoin/internal/server"
+	"cjoin/internal/shard"
+	"cjoin/internal/ssb"
+)
+
+// rejectingExec is a core.Executor stub whose every submission fails
+// with a fixed error — the smallest harness that drives an executor
+// error through the admission queue to the HTTP surface.
+type rejectingExec struct{ err error }
+
+func (e *rejectingExec) Submit(*query.Bound) (core.Handle, error) { return nil, e.err }
+func (e *rejectingExec) SubmitCtx(context.Context, *query.Bound) (core.Handle, error) {
+	return nil, e.err
+}
+func (e *rejectingExec) MaxConcurrent() int { return 4 }
+func (e *rejectingExec) ActiveQueries() int { return 0 }
+func (e *rejectingExec) Stats() core.Stats  { return core.Stats{} }
+func (e *rejectingExec) Quiesce()           {}
+func (e *rejectingExec) Stop()              {}
+
+// TestUnprocessableQueryIs422 verifies the typed-error contract: an
+// executor error that knows its HTTP status (shard.RangePartitionedError
+// → 422 Unprocessable Entity) reaches the client with that status and a
+// clear message, instead of a generic 200-with-error or 500. Admission
+// dispatch is asynchronous, so the mapping happens at the result
+// endpoint.
+func TestUnprocessableQueryIs422(t *testing.T) {
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := &shard.RangePartitionedError{Shards: 4, Partitions: 8}
+	srv := server.New(ds.Star, ds.Txn, &rejectingExec{err: typed}, server.Config{
+		Admission: admission.Config{MaxQueue: 8},
+	})
+	t.Cleanup(func() { _ = srv.Drain(context.Background()) })
+	h := srv.Handler()
+
+	body := strings.NewReader(`{"sql":"SELECT COUNT(*) AS n FROM lineorder"}`)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", body))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body)
+	}
+	var st server.QueryStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query/"+st.ID+"/result?timeout=5s", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("result status %d, want 422: %s", rec.Code, rec.Body)
+	}
+	var res server.ResultResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Error, "range-partitioned") {
+		t.Fatalf("error message not surfaced: %q", res.Error)
+	}
+}
+
+// TestStatsExposePlaneFigures verifies /stats reports the shared
+// dimension plane once: admission count and wall time plus resident
+// bytes on the merged pipeline entry, with per-shard entries zero (the
+// stores are shared, not replicated ×N).
+func TestStatsExposePlaneFigures(t *testing.T) {
+	env := startServerSharded(t, 600, 4, 4, disk.Config{}, admission.Config{})
+	ctx := context.Background()
+	q, err := env.cl.Submit(ctx, "SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if _, err := q.Result(rctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := env.cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.Pipeline
+	if p.DimAdmits < 1 || p.DimAdmitMicros <= 0 {
+		t.Fatalf("plane admission not reported: admits=%d us=%d", p.DimAdmits, p.DimAdmitMicros)
+	}
+	if p.PlanePipelines != 4 {
+		t.Fatalf("plane_pipelines = %d, want 4", p.PlanePipelines)
+	}
+	if p.PlanePeakBytes <= 0 {
+		t.Fatalf("plane_peak_bytes = %d, want > 0", p.PlanePeakBytes)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("%d shard entries", len(st.Shards))
+	}
+	for i, sh := range st.Shards {
+		if sh.DimAdmits != 0 || sh.PlaneBytes != 0 || sh.PlanePipelines != 0 {
+			t.Fatalf("shard %d duplicates plane figures: %+v", i, sh)
+		}
+	}
+}

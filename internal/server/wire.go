@@ -122,6 +122,16 @@ type PipelineStats struct {
 	ScanCycles    int64         `json:"scan_cycles"`
 	FilterOrder   []string      `json:"filter_order"`
 	Filters       []FilterStats `json:"filters"`
+
+	// Dimension-plane figures: admission runs once per logical query on
+	// the shared plane (no ×N growth with -shards), and the plane's
+	// dimension stores are shared by every shard, so memory is reported
+	// once — on the merged pipeline entry, with per-shard entries zero.
+	DimAdmits      int64 `json:"dim_admits,omitempty"`
+	DimAdmitMicros int64 `json:"dim_admit_us,omitempty"`
+	PlaneBytes     int64 `json:"plane_bytes,omitempty"`
+	PlanePeakBytes int64 `json:"plane_peak_bytes,omitempty"`
+	PlanePipelines int   `json:"plane_pipelines,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.

@@ -1,0 +1,176 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cjoin/internal/core"
+	"cjoin/internal/disk"
+	"cjoin/internal/query"
+)
+
+// TestSharedPlaneCancelChurn is the cancellation stress test for the
+// shared dimension plane: queries are admitted once and activated on
+// every shard, then abandoned at random points — before activation (a
+// pre-canceled context), mid-admission (a context canceled concurrently
+// with SubmitCtx), and mid-flight (Handle.Cancel at a random delay,
+// racing both the scan and a concurrent duplicate Cancel). Each query's
+// slot and bit-vector column must be released exactly once across all
+// shards: a double release panics inside the plane (over-retire) or the
+// slot allocator (double free), and a leak shows up as a non-empty
+// plane after quiescing. Run under -race in CI.
+func TestSharedPlaneCancelChurn(t *testing.T) {
+	ds := genDataset(t, 1500, disk.Config{SeqBytesPerSec: 32 << 20})
+	g := startGroup(t, ds, 4)
+	sql := "SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"
+
+	const iters = 60
+	// Gate concurrency below maxConc (8). Canceled queries release their
+	// plane slot asynchronously — at the next page boundary, once every
+	// shard's cleanup has retired its hold — so admission can still see
+	// a transiently full plane; submits retry through that. A double
+	// release, by contrast, panics immediately (plane over-retire or
+	// allocator double-free), and a leak fails the end-state checks.
+	sem := make(chan struct{}, 6)
+	submitRetry := func(ctx context.Context, b *query.Bound) (core.Handle, error) {
+		for {
+			h, err := g.SubmitCtx(ctx, b)
+			if !errors.Is(err, core.ErrTooManyQueries) {
+				return h, err
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < iters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(int64(i)))
+			b := bind(t, ds, sql)
+			switch i % 3 {
+			case 0:
+				// Canceled before admission: no slot may be consumed.
+				// (A transiently full plane short-circuits before the
+				// context check; both errors are acceptable.)
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				if _, err := g.SubmitCtx(ctx, b); !errors.Is(err, context.Canceled) &&
+					!errors.Is(err, core.ErrTooManyQueries) {
+					t.Errorf("pre-canceled submit: %v", err)
+				}
+			case 1:
+				// Canceled concurrently with admission/activation: either
+				// outcome is fine, but an admitted query must still
+				// deliver and release.
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() {
+					time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+					cancel()
+				}()
+				h, err := submitRetry(ctx, b)
+				cancel()
+				if err != nil {
+					return
+				}
+				h.Cancel()
+				<-h.Done()
+			default:
+				// Canceled mid-flight, racing a duplicate Cancel.
+				h, err := submitRetry(context.Background(), b)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+				wins := make(chan bool, 2)
+				var cwg sync.WaitGroup
+				for c := 0; c < 2; c++ {
+					cwg.Add(1)
+					go func() { defer cwg.Done(); wins <- h.Cancel() }()
+				}
+				cwg.Wait()
+				// At most one Cancel call may win; none, if the query
+				// finished first.
+				if <-wins && <-wins {
+					t.Error("both Cancel calls claimed the cancellation")
+				}
+				<-h.Done()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	g.Quiesce()
+	pl := g.Plane()
+	// Quiesce tracks pipeline registration; the final plane retire can
+	// trail it by a hair, so poll briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for pl.InUse() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if pl.InUse() != 0 {
+		t.Fatalf("%d plane slots leaked after churn", pl.InUse())
+	}
+	for d := 0; d < pl.NumDims(); d++ {
+		st := pl.Store(d)
+		if st.Len() != 0 || st.RefCount() != 0 {
+			t.Fatalf("dimension %d not released: len=%d refs=%d", d, st.Len(), st.RefCount())
+		}
+	}
+	// The plane must still be fully serviceable: fill every slot again.
+	var hs []core.Handle
+	for i := 0; i < g.MaxConcurrent(); i++ {
+		h, err := g.Submit(bind(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
+		if err != nil {
+			t.Fatalf("slot %d not reusable after churn: %v", i, err)
+		}
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		if res := h.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		<-h.Done()
+	}
+}
+
+// TestSharedPlaneAdmitOnce pins the tentpole invariant numerically: one
+// logical query over a 4-shard group performs exactly one plane
+// admission and stores one copy of its dimension selection, however many
+// shards probe it.
+func TestSharedPlaneAdmitOnce(t *testing.T) {
+	ds := genDataset(t, 1500, disk.Config{SeqBytesPerSec: 16 << 20})
+	g := startGroup(t, ds, 4)
+	h, err := g.Submit(bind(t, ds, "SELECT SUM(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_year = 1993"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Plane().Stats()
+	if st.Admits != 1 {
+		t.Fatalf("plane admissions = %d, want 1 for one logical query", st.Admits)
+	}
+	if st.Probers != 4 {
+		t.Fatalf("probers = %d", st.Probers)
+	}
+	if got := g.Plane().InUse(); got != 1 {
+		t.Fatalf("slots in use = %d, want 1", got)
+	}
+	merged := g.Stats()
+	if merged.DimAdmits != 1 || merged.PlanePipelines != 4 {
+		t.Fatalf("merged stats missing plane figures: %+v", merged)
+	}
+	if res := h.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	<-h.Done()
+	if got := g.Plane().InUse(); got != 0 {
+		t.Fatalf("slot not recycled after completion: %d in use", got)
+	}
+}

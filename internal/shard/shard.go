@@ -7,10 +7,10 @@
 // the Stage thread sweet spot buys nothing. Group breaks that bound the
 // way partitioned analytic engines do: the fact pages are dealt round-
 // robin (strided) across N inner Pipelines, each with its own continuous
-// scan, dimension Filters, and Stage layout. A logical query is broadcast
-// to every shard — the same admission Algorithm 1 runs N times, loading
-// the same dimension predicate results into each shard's Filters — and
-// each shard aggregates the fact tuples of its own partition. When all
+// scan, Filter stages, and Stage layout. A logical query is admitted
+// once — slot and dimension state live on the group's shared
+// internal/dimplane.Plane — then activated on every shard, and each
+// shard aggregates the fact tuples of its own partition. When all
 // shards complete the cycle, the per-shard partial aggregates are merged
 // associatively (agg.Merge), and ORDER BY / LIMIT are applied once at the
 // group level, so results are exactly those of a single pipeline over the
@@ -20,10 +20,19 @@
 // as the fact heap grows (page p always belongs to shard p mod N, at
 // shard-local index p div N), preserving the §3.3.3 requirement that the
 // continuous scan can start and finalize queries at exact positions.
+//
+// Dimension state is NOT replicated across shards: the group owns one
+// internal/dimplane.Plane, a logical query is admitted to it exactly
+// once (slot allocation + dimension-table installation), and each
+// shard's Filter stages probe the same copy-on-write snapshots
+// lock-free. Submit is therefore admit-once + fan-out-activate, and the
+// paper's admission-cost term stays flat in shard count instead of
+// multiplying by N.
 package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,8 +42,32 @@ import (
 	"cjoin/internal/agg"
 	"cjoin/internal/catalog"
 	"cjoin/internal/core"
+	"cjoin/internal/dimplane"
 	"cjoin/internal/query"
 )
+
+// RangePartitionedError reports an attempt to page-shard a star whose
+// fact table is range-partitioned (§5): page striding rides the
+// FactSource override, which partition pruning's scan ordering cannot
+// take. Deal partitions — not pages — to shard such a star (ROADMAP).
+//
+// The type is exported so callers can distinguish a topology
+// misconfiguration from transient failures; it maps itself to HTTP 422
+// (Unprocessable Entity) for service layers that surface it.
+type RangePartitionedError struct {
+	// Shards is the requested shard count.
+	Shards int
+	// Partitions is the star's range-partition count.
+	Partitions int
+}
+
+func (e *RangePartitionedError) Error() string {
+	return fmt.Sprintf("shard: a range-partitioned star (%d partitions) cannot be page-sharded across %d pipelines; partition pruning owns the scan order — run -shards 1, or drop range partitioning",
+		e.Partitions, e.Shards)
+}
+
+// HTTPStatus maps the error to 422 Unprocessable Entity.
+func (e *RangePartitionedError) HTTPStatus() int { return 422 }
 
 // Config tunes a Group.
 type Config struct {
@@ -51,7 +84,10 @@ type Config struct {
 // Group is a sharded executor: one logical CJOIN operator composed of N
 // fact-partitioned pipelines. It implements core.Executor.
 type Group struct {
-	star  *catalog.Star
+	star *catalog.Star
+	// plane is the group-owned dimension plane: admission and removal
+	// run once per logical query; every shard probes its snapshots.
+	plane *dimplane.Plane
 	pipes []*core.Pipeline
 
 	// mu guards lifecycle transitions so Stats/ShardStats snapshots never
@@ -72,10 +108,14 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		n = 1
 	}
 	if star.PartCol >= 0 && n > 1 {
-		// Page striding rides the FactSource override, which a
-		// range-partitioned star cannot take (partition pruning owns the
-		// scan order there).
-		return nil, fmt.Errorf("shard: a range-partitioned star cannot be page-sharded (got %d shards)", n)
+		return nil, &RangePartitionedError{Shards: n, Partitions: len(star.Partitions())}
+	}
+	if cfg.Core.Plane != nil {
+		// The group is the plane's owner: it sizes the prober count to
+		// the shard topology and drives the admit/retire lifecycle.
+		// Honoring a foreign plane here would silently split admission
+		// state between two owners.
+		return nil, fmt.Errorf("shard: Config.Core.Plane must be nil; the group constructs and owns the shared dimension plane")
 	}
 	workers := cfg.Core.Workers
 	if workers <= 0 {
@@ -89,10 +129,19 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 	if cfg.Core.FactSource != nil {
 		base = cfg.Core.FactSource
 	}
-	g := &Group{star: star}
+	// One dimension plane for the whole group, sized from the same
+	// effective configuration every shard pipeline will normalize to.
+	norm := cfg.Core.Normalized()
+	plane := dimplane.New(star, n, dimplane.Config{
+		MaxConcurrent: norm.MaxConcurrent,
+		LegacyMap:     norm.LegacyMapFilter,
+	})
+	g := &Group{star: star, plane: plane}
 	for i := 0; i < n; i++ {
 		cc := cfg.Core
+		cc.MaxConcurrent = norm.MaxConcurrent
 		cc.Workers = perShard
+		cc.Plane = plane
 		if n > 1 {
 			cc.FactSource = &stridedSource{src: base, offset: i, stride: n}
 		}
@@ -107,6 +156,9 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 	}
 	return g, nil
 }
+
+// Plane returns the group-owned dimension plane (shared by every shard).
+func (g *Group) Plane() *dimplane.Plane { return g.plane }
 
 // NumShards returns the number of inner pipelines.
 func (g *Group) NumShards() int { return len(g.pipes) }
@@ -142,9 +194,8 @@ func (g *Group) Stop() {
 	wg.Wait()
 }
 
-// MaxConcurrent returns the group's maxConc bound. Every logical query
-// occupies one slot on every shard, so group capacity equals per-shard
-// capacity.
+// MaxConcurrent returns the group's maxConc bound: the shared plane's
+// slot count, which every logical query occupies exactly one of.
 func (g *Group) MaxConcurrent() int { return g.pipes[0].MaxConcurrent() }
 
 // ActiveQueries returns the number of queries currently registered
@@ -173,12 +224,24 @@ func (g *Group) Submit(q *query.Bound) (core.Handle, error) {
 	return g.SubmitCtx(context.Background(), q)
 }
 
-// SubmitCtx is Submit with a context governing admission.
+// SubmitCtx is Submit with a context governing admission. The dimension
+// half of Algorithm 1 runs exactly once, on the group's shared plane;
+// only the per-shard Preprocessor installation (lines 17–22) fans out.
 func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, error) {
 	if len(g.pipes) == 1 {
 		return g.pipes[0].SubmitCtx(ctx, q)
 	}
 	start := time.Now()
+
+	// Admit once: allocate the query slot and load the dimension
+	// predicate selections into the shared stores.
+	slot, err := g.plane.Admit(ctx, q)
+	if err != nil {
+		if errors.Is(err, dimplane.ErrSlotsExhausted) {
+			return nil, core.ErrTooManyQueries
+		}
+		return nil, err
+	}
 
 	// Shards aggregate partials: ORDER BY and LIMIT must not truncate a
 	// shard's groups before the merge, so they are stripped here and
@@ -195,21 +258,25 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			subs[i], errs[i] = g.pipes[i].SubmitCtx(ctx, &pq)
+			subs[i], errs[i] = g.pipes[i].Activate(ctx, &pq, slot)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Partial admission: roll back the shards that accepted so no
-			// slot leaks (their handles are otherwise unreachable).
-			for _, sh := range subs {
-				if sh != nil {
-					sh.Cancel()
-				}
+	if firstErr := firstError(errs); firstErr != nil {
+		// Partial activation: rolling back is one-plane bookkeeping.
+		// Activated shards retire their hold through the normal cancel
+		// lifecycle; shards that failed never will, so compensate with
+		// one Retire each — except ErrPipelineStopped, where the
+		// shutdown sweep owns the query and the slot is abandoned with
+		// the stopping plane (see Pipeline.Activate's contract).
+		for i, sh := range subs {
+			if sh != nil {
+				sh.Cancel()
+			} else if !errors.Is(errs[i], core.ErrPipelineStopped) {
+				g.plane.Retire(slot)
 			}
-			return nil, err
 		}
+		return nil, firstErr
 	}
 
 	h := &groupHandle{
@@ -220,12 +287,30 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		done:       make(chan struct{}),
 	}
 	go h.gather()
+	if err := ctx.Err(); err != nil {
+		// Canceled during the installation stall after every shard
+		// accepted: abort the admission cleanly, as the single-pipeline
+		// path does — every shard retires through the cancel lifecycle.
+		h.Cancel()
+		return nil, err
+	}
 	return h, nil
 }
 
+// firstError returns the first non-nil error in errs.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Stats returns group-wide counters: scan and filter activity summed
-// across shards (Stored sums too — each shard owns its own copy of the
-// dimension hash tables), with shard 0's filter order as representative.
+// across shards, dimension-plane figures (admission time, resident
+// store bytes) reported once — the stores are shared, not replicated —
+// with shard 0's filter order as representative.
 func (g *Group) Stats() core.Stats {
 	merged, _ := g.StatsWithShards()
 	return merged
@@ -251,12 +336,20 @@ func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
 			if j >= len(out.Filters) {
 				break
 			}
-			out.Filters[j].Stored += s.Filters[j].Stored
+			// Stored deliberately not summed: every shard probes the
+			// same plane-owned store, so shard 0's reading already is
+			// the whole table.
 			out.Filters[j].TuplesIn += s.Filters[j].TuplesIn
 			out.Filters[j].Probes += s.Filters[j].Probes
 			out.Filters[j].Drops += s.Filters[j].Drops
 		}
 	}
+	ps := g.plane.Stats()
+	out.DimAdmits = ps.Admits
+	out.DimAdmitNanos = ps.AdmitNanos
+	out.PlaneBytes = ps.MemBytes
+	out.PlanePeakBytes = ps.PeakMemBytes
+	out.PlanePipelines = ps.Probers
 	return out, per
 }
 

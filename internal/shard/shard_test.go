@@ -262,8 +262,21 @@ func TestPartitionedStarRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := shard.New(ds.Star, shard.Config{Shards: 2}); err == nil {
+	_, err = shard.New(ds.Star, shard.Config{Shards: 2})
+	if err == nil {
 		t.Fatal("2-shard group over a partitioned star was accepted")
+	}
+	// The rejection is a typed topology error that carries its HTTP
+	// mapping (422) for the service layer.
+	var rpe *shard.RangePartitionedError
+	if !errors.As(err, &rpe) {
+		t.Fatalf("error is %T (%v), want *shard.RangePartitionedError", err, err)
+	}
+	if rpe.Shards != 2 || rpe.Partitions != 4 {
+		t.Fatalf("typed error fields: %+v", rpe)
+	}
+	if rpe.HTTPStatus() != 422 {
+		t.Fatalf("HTTPStatus() = %d, want 422", rpe.HTTPStatus())
 	}
 	// One shard is fine: no striding, partition pruning intact.
 	g, err := shard.New(ds.Star, shard.Config{Shards: 1, Core: core.Config{MaxConcurrent: 4, Workers: 1}})
