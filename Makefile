@@ -6,20 +6,28 @@ GO        ?= go
 BENCH_N   ?= 1
 BENCHTIME ?= 1s
 
-.PHONY: all build test race race-core bench vet ci dimadmit-smoke
+.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + full tests,
-# the concurrency-heavy packages under the race detector, and a smoke
-# run of the shared-dimension-plane experiment over a 2-shard group.
-ci: vet build test race-core dimadmit-smoke
+# the concurrency-heavy packages under the race detector, and smoke
+# runs of the shared-dimension-plane and partition-dealt experiments
+# over 2-shard groups.
+ci: vet build test race-core dimadmit-smoke shardparts-smoke
 
 # End-to-end smoke of the admit-once execution tier: the dimadmit
 # experiment exercises plane admission, fan-out activation, and merged
 # stats over real shard topologies in a few seconds.
 dimadmit-smoke:
 	$(GO) run ./cmd/cjoin-bench -exp dimadmit -shards 1,2 -rows 2000 -queries 8 -n 8 -json > /dev/null
+
+# End-to-end smoke of partition-aware sharding: shardscale over a
+# range-partitioned star deals whole partitions to the shards, so this
+# exercises the deal planner, per-shard subset scans, and pruned
+# completion under a real closed-loop workload.
+shardparts-smoke:
+	$(GO) run ./cmd/cjoin-bench -exp shardscale -partitions 6 -shards 1,2 -rows 2000 -queries 8 -n 8 -json > /dev/null
 
 race-core:
 	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/shard

@@ -33,6 +33,7 @@ import (
 	"cjoin/internal/catalog"
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
+	"cjoin/internal/shard"
 	"cjoin/internal/txn"
 )
 
@@ -297,6 +298,12 @@ type PipelineOptions struct {
 	// OptimizeEvery is the interval of run-time filter reordering;
 	// 0 uses 100ms.
 	OptimizeEvery time.Duration
+	// Shards fans the operator out over N CJOIN pipelines behind one
+	// submission surface: an unpartitioned fact table is page-strided
+	// across shards, a range-partitioned one has whole partitions dealt
+	// to shards (balanced by page count, pruning intact). Results are
+	// merged exactly. 0 or 1 keeps the paper's single pipeline.
+	Shards int
 }
 
 func (o PipelineOptions) toCore() (core.Config, error) {
@@ -324,7 +331,9 @@ func (o PipelineOptions) toCore() (core.Config, error) {
 	return cfg, nil
 }
 
-// OpenPipeline starts the warehouse's always-on CJOIN pipeline.
+// OpenPipeline starts the warehouse's always-on CJOIN operator: the
+// paper's single pipeline, or a sharded group of them when
+// opts.Shards > 1.
 func (w *Warehouse) OpenPipeline(opts PipelineOptions) (*Pipeline, error) {
 	star, err := w.starSchema()
 	if err != nil {
@@ -333,6 +342,14 @@ func (w *Warehouse) OpenPipeline(opts PipelineOptions) (*Pipeline, error) {
 	cfg, err := opts.toCore()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Shards > 1 {
+		g, err := shard.New(star, shard.Config{Shards: opts.Shards, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		g.Start()
+		return &Pipeline{w: w, p: g}, nil
 	}
 	p, err := core.NewPipeline(star, cfg)
 	if err != nil {
@@ -343,10 +360,11 @@ func (w *Warehouse) OpenPipeline(opts PipelineOptions) (*Pipeline, error) {
 }
 
 // Pipeline is a running CJOIN operator accepting concurrent star
-// queries.
+// queries — a single pipeline or a sharded group behind the same
+// executor surface.
 type Pipeline struct {
 	w *Warehouse
-	p *core.Pipeline
+	p core.Executor
 }
 
 // Close shuts the pipeline down; in-flight queries fail.

@@ -43,6 +43,7 @@ func main() {
 		n       = flag.Int("n", 32, "concurrency for figure7/figure8/table2/table3")
 		threads = flag.Int("threads", 5, "max stage threads for figure4")
 		shards  = flag.String("shards", "", "comma-separated shard counts for shardscale (default 1,2,4,8)")
+		parts   = flag.Int("partitions", 0, "range-partition the fact table into N heaps; shardscale then deals whole partitions to shards (0 = unpartitioned, page-strided)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut = flag.Bool("json", false, "emit the selected figures as one JSON document on stdout")
 	)
@@ -55,6 +56,7 @@ func main() {
 		Queries:       *queries,
 		Seed:          *seed,
 		MaxConcurrent: *maxConc,
+		Partitions:    *parts,
 	}
 	ns, err := parseInts(*nsFlag)
 	check(err)

@@ -46,7 +46,7 @@ func main() {
 		rows     = flag.Int("rows", 20000, "fact rows per scale-factor unit")
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
 		parts    = flag.Int("partitions", 0, "range-partition lineorder into N heaps (0 = off)")
-		shards   = flag.Int("shards", 1, "fact-page-partitioned CJOIN pipelines behind one admission queue (1 = single pipeline)")
+		shards   = flag.Int("shards", 1, "CJOIN pipelines behind one admission queue (1 = single pipeline; unpartitioned facts are page-strided, range-partitioned facts have whole partitions dealt)")
 		maxConc  = flag.Int("maxconc", 64, "pipeline query slots (maxConc)")
 		workers  = flag.Int("workers", 0, "stage worker threads (0 = NumCPU/2)")
 		batch    = flag.Int("batch", 0, "pipeline batch rows (0 = default)")
@@ -75,8 +75,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("generate SSB: %v", err)
 	}
-	log.Printf("SSB sf=%d: %d fact rows, 4 dimensions, generated in %v",
-		*sf, ds.Lineorder.Heap.NumRows(), time.Since(start).Round(time.Millisecond))
+	var factRows int64
+	for _, p := range ds.Star.Partitions() {
+		factRows += p.Heap.NumRows()
+	}
+	layout := "single heap"
+	if ds.Star.PartCol >= 0 {
+		layout = fmt.Sprintf("%d range partitions", len(ds.Star.Partitions()))
+	}
+	log.Printf("SSB sf=%d: %d fact rows, 4 dimensions, %s, generated in %v",
+		*sf, factRows, layout, time.Since(start).Round(time.Millisecond))
 
 	coreCfg := core.Config{
 		MaxConcurrent:    *maxConc,
@@ -92,7 +100,12 @@ func main() {
 		}
 		group.Start()
 		exec = group
-		log.Printf("sharded execution started: %d pipelines, maxconc=%d", group.NumShards(), *maxConc)
+		if subs := group.ShardPartitions(); subs != nil {
+			log.Printf("sharded execution started: %d pipelines, maxconc=%d, %d range partitions dealt %v",
+				group.NumShards(), *maxConc, len(ds.Star.Partitions()), subs)
+		} else {
+			log.Printf("sharded execution started: %d page-strided pipelines, maxconc=%d", group.NumShards(), *maxConc)
+		}
 	} else {
 		pipe, err := core.NewPipeline(ds.Star, coreCfg)
 		if err != nil {

@@ -58,7 +58,14 @@ func (p *Pipeline) GalaxyJoin(sqlA, sqlB, pivotA, pivotB string, emit func(a, b 
 	snap := p.w.Begin()
 	qa.Snapshot = snap
 	qb.Snapshot = snap
-	return core.ExecuteGalaxy(p.p, p.p, qa, qb, colA, colB, func(fa, fb *expr.Joined) {
+	cp, ok := p.p.(*core.Pipeline)
+	if !ok {
+		// Galaxy joins route fact tuples through per-query sinks, a
+		// concrete single-pipeline capability the sharded group does not
+		// broadcast (its handles gather aggregates, not tuples).
+		return fmt.Errorf("cjoin: GalaxyJoin requires an unsharded pipeline (PipelineOptions.Shards <= 1)")
+	}
+	return core.ExecuteGalaxy(cp, cp, qa, qb, colA, colB, func(fa, fb *expr.Joined) {
 		emit(FactRow{w: p.w, row: fa.Fact}, FactRow{w: p.w, row: fb.Fact})
 	})
 }

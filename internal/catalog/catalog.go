@@ -221,6 +221,19 @@ func (s *Star) Partitions() []FactPartition {
 	return []FactPartition{{Heap: s.Fact.Heap, MinKey: -maxI64 - 1, MaxKey: maxI64}}
 }
 
+// PartitionPages returns the heap page count of every fact partition,
+// index-aligned with Partitions. Partition-dealing planners
+// (internal/shard) balance shards by these weights — page count, not
+// partition count — so date-skewed loads still spread evenly.
+func (s *Star) PartitionPages() []int {
+	parts := s.Partitions()
+	pages := make([]int, len(parts))
+	for i, p := range parts {
+		pages[i] = p.Heap.NumPages()
+	}
+	return pages
+}
+
 // DimIndex returns the position of the named dimension, or -1.
 func (s *Star) DimIndex(name string) int {
 	if i, ok := s.dimByName[name]; ok {

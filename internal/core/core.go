@@ -99,6 +99,13 @@ type Config struct {
 	// e.g. a column-store scan/merge (§5). Row width must match the
 	// star's fact schema. Incompatible with partitioned stars.
 	FactSource PageSource
+	// PartSubset restricts the continuous scan to the given global
+	// partition indices of a range-partitioned star (§5), in scan order.
+	// Nil scans every partition. internal/shard.Group deals whole
+	// partitions across its shards with this, so each shard cycles over
+	// its own partition subset with pruning intact. Requires a
+	// partitioned star; incompatible with FactSource.
+	PartSubset []int
 	// Plane is the shared dimension plane this pipeline probes. Nil
 	// means the pipeline constructs and owns a private plane (the
 	// single-pipeline, N=1 case). internal/shard.Group builds one plane

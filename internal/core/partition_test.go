@@ -117,6 +117,103 @@ func TestPruningToZeroPartitions(t *testing.T) {
 	}
 }
 
+// TestPartSubsetScan verifies the partition-dealt shard primitive: a
+// pipeline restricted to a PartSubset aggregates exactly its partitions'
+// rows, charges exactly their pages, prunes within the subset, and
+// completes instantly when a query's needed partitions all live
+// elsewhere.
+func TestPartSubsetScan(t *testing.T) {
+	ds := partitionedDataset(t, 3000, 4)
+	parts := ds.Star.Partitions()
+	subset := []int{0, 2}
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, PartSubset: subset})
+
+	wantRows := parts[0].Heap.NumRows() + parts[2].Heap.NumRows()
+	wantPages := int64(parts[0].Heap.NumPages() + parts[2].Heap.NumPages())
+	q, err := query.ParseBind("SELECT COUNT(*) AS n FROM lineorder", ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Ints[0] != wantRows {
+		t.Fatalf("subset COUNT(*) = %v, want %d (partitions 0 and 2 only)", res.Rows, wantRows)
+	}
+	if h.PagesScanned() != wantPages {
+		t.Fatalf("subset scanned %d pages, partitions 0+2 hold %d", h.PagesScanned(), wantPages)
+	}
+
+	// Pruning within the subset: a query confined to partition 0's key
+	// range must charge only partition 0's pages.
+	narrow := fmt.Sprintf(
+		"SELECT COUNT(*) AS n FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d",
+		parts[0].MinKey, parts[0].MaxKey)
+	qn, err := query.ParseBind(narrow, ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := p.Submit(qn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := hn.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := hn.PagesScanned(); got != int64(parts[0].Heap.NumPages()) {
+		t.Fatalf("subset-pruned query scanned %d pages, partition 0 holds %d", got, parts[0].Heap.NumPages())
+	}
+
+	// A query needing only partition 1 — dealt to another shard — has
+	// nothing to scan here: zero pages, instant empty result.
+	other := fmt.Sprintf(
+		"SELECT SUM(lo_revenue), d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d GROUP BY d_year",
+		parts[1].MinKey, parts[1].MaxKey)
+	qo, err := query.ParseBind(other, ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ho, err := p.Submit(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ho.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if ho.PagesScanned() != 0 {
+		t.Fatalf("foreign-partition query scanned %d pages on this subset", ho.PagesScanned())
+	}
+}
+
+// TestPartSubsetValidation pins the configuration contract.
+func TestPartSubsetValidation(t *testing.T) {
+	pds := partitionedDataset(t, 500, 4)
+	uds := partitionedDataset(t, 500, 1) // single heap, unpartitioned
+	cases := []struct {
+		name   string
+		ds     *ssb.Dataset
+		subset []int
+	}{
+		{"unpartitioned star", uds, []int{0}},
+		{"empty subset", pds, []int{}},
+		{"out of range", pds, []int{0, 4}},
+		{"negative", pds, []int{-1}},
+		{"duplicate", pds, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := core.NewPipeline(tc.ds.Star, core.Config{MaxConcurrent: 4, PartSubset: tc.subset}); err == nil {
+				t.Fatalf("PartSubset %v over %q accepted", tc.subset, tc.name)
+			}
+		})
+	}
+}
+
 func TestSkippedPartitionsNotScanned(t *testing.T) {
 	// With only narrow queries active, the continuous scan must skip
 	// partitions nobody needs: total pages read stays near the needed

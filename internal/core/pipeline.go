@@ -43,8 +43,11 @@ type runningQuery struct {
 	// Preprocessor-owned scan bookkeeping.
 	startPos  int64
 	sawStart  bool
-	pagesLeft int64  // -1: wrap-detected; >= 0: partitioned countdown
-	needParts []bool // partitioned stars: partitions this query scans
+	pagesLeft int64 // -1: wrap-detected; >= 0: partitioned countdown
+	// needParts marks the partitions this query scans, indexed by the
+	// star's GLOBAL partition order (partition-dealt shards translate
+	// through factScan.globalOf). Nil means every partition.
+	needParts []bool
 
 	// Progress accounting (§3.2.3: "the current point in the continuous
 	// scan can serve as a reliable progress indicator").
@@ -57,6 +60,11 @@ type runningQuery struct {
 	// sweep can race on shutdown.
 	cleaned     chan struct{}
 	cleanedOnce sync.Once
+}
+
+// needsPart reports whether the query must scan global partition g.
+func (rq *runningQuery) needsPart(g int) bool {
+	return rq.needParts == nil || rq.needParts[g]
 }
 
 func (rq *runningQuery) markCleaned() {
@@ -247,6 +255,28 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 		}
 		if cfg.FactSource.NumCols() != ncols {
 			return nil, fmt.Errorf("core: FactSource has %d columns, fact schema has %d", cfg.FactSource.NumCols(), ncols)
+		}
+	}
+	if cfg.PartSubset != nil {
+		if star.PartCol < 0 {
+			return nil, fmt.Errorf("core: PartSubset requires a range-partitioned star")
+		}
+		if cfg.FactSource != nil {
+			return nil, fmt.Errorf("core: PartSubset is incompatible with a FactSource override")
+		}
+		if len(cfg.PartSubset) == 0 {
+			return nil, fmt.Errorf("core: PartSubset must name at least one partition")
+		}
+		nparts := len(star.Partitions())
+		seen := make(map[int]bool, len(cfg.PartSubset))
+		for _, g := range cfg.PartSubset {
+			if g < 0 || g >= nparts {
+				return nil, fmt.Errorf("core: PartSubset index %d out of range [0,%d)", g, nparts)
+			}
+			if seen[g] {
+				return nil, fmt.Errorf("core: PartSubset repeats partition %d", g)
+			}
+			seen[g] = true
 		}
 	}
 	words := bitvec.Words(cfg.MaxConcurrent)

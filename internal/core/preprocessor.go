@@ -43,8 +43,12 @@ type preprocessor struct {
 	// their bits copy in one vector operation per tuple.
 	baseMask bitvec.Vec
 	predQ    []*runningQuery // active queries with fact predicates
-	partRefs []int           // active queries needing each partition
-	mvcc     bool            // fact rows carry xmin/xmax system columns
+	// partRefs counts active queries needing each partition, indexed by
+	// the SCAN-LOCAL partition order (a dealt subset on a shard);
+	// runningQuery.needParts stays star-global and is translated through
+	// factScan.globalOf.
+	partRefs []int
+	mvcc     bool // fact rows carry xmin/xmax system columns
 
 	scratch expr.Joined // reused for fact-predicate evaluation
 
@@ -55,15 +59,16 @@ type preprocessor struct {
 }
 
 func newPreprocessor(p *Pipeline) *preprocessor {
+	scan := newFactScan(p.star, p.cfg.FactSource, p.cfg.PartSubset)
 	return &preprocessor{
 		p:        p,
-		scan:     newFactScan(p.star, p.cfg.FactSource),
+		scan:     scan,
 		cmds:     make(chan ppCmd),
 		cancels:  make(chan *runningQuery, p.cfg.MaxConcurrent),
 		out:      make(chan *batch, p.cfg.QueueLen),
 		stop:     p.stopCh,
 		baseMask: bitvec.New(p.cfg.MaxConcurrent),
-		partRefs: make([]int, len(p.star.Partitions())),
+		partRefs: make([]int, len(scan.parts)),
 		mvcc:     p.star.Fact.Hidden >= 2,
 	}
 }
@@ -151,11 +156,15 @@ func (pp *preprocessor) register(cmd ppCmd) {
 	rq.startPos = pp.scan.position()
 	rq.sawStart = false
 	if pp.scan.static {
+		// Pruning countdown over the partitions this scan covers: a
+		// shard's scan may hold only a dealt subset, so the query's
+		// star-global needParts is consulted per local partition. Pages
+		// the query needs on OTHER shards are theirs to count.
 		var pages int64
-		for i, need := range rq.needParts {
-			if need {
-				pp.partRefs[i]++
-				pages += int64(pp.scan.pagesInPart(i))
+		for li := range pp.scan.parts {
+			if rq.needsPart(pp.scan.globalOf(li)) {
+				pp.partRefs[li]++
+				pages += int64(pp.scan.pagesInPart(li))
 			}
 		}
 		rq.pagesLeft = pages
@@ -213,9 +222,9 @@ func (pp *preprocessor) finish(rq *runningQuery) {
 		}
 	}
 	if pp.scan.static {
-		for i, need := range rq.needParts {
-			if need {
-				pp.partRefs[i]--
+		for li := range pp.scan.parts {
+			if rq.needsPart(pp.scan.globalOf(li)) {
+				pp.partRefs[li]--
 			}
 		}
 	} else {
@@ -250,7 +259,7 @@ func (pp *preprocessor) afterPage(part int) {
 			rq.pagesDone.Add(1)
 			continue
 		}
-		if !rq.needParts[part] {
+		if !rq.needsPart(pp.scan.globalOf(part)) {
 			continue
 		}
 		rq.pagesLeft--
@@ -262,8 +271,8 @@ func (pp *preprocessor) afterPage(part int) {
 	}
 }
 
-// skipPart reports whether no active query needs partition i (§5: the
-// continuous scan covers only the union of needed partitions).
+// skipPart reports whether no active query needs scan-local partition i
+// (§5: the continuous scan covers only the union of needed partitions).
 func (pp *preprocessor) skipPart(i int) bool { return pp.partRefs[i] == 0 }
 
 // emitPage turns one fact page into data batches, initializing every

@@ -11,13 +11,18 @@ type scanPart struct {
 }
 
 // factScan is the continuous scan feeding the Preprocessor (§3.1): it
-// cycles over the fact source — or, for a partitioned star (§5), over the
+// cycles over the fact source — or, for a partitioned star (§5), over a
 // sequence of fact partitions — forever, in a stable order, reporting the
 // absolute row position of every page so queries can be started and
-// finalized at exact positions (§3.3.3).
+// finalized at exact positions (§3.3.3). For a partition-dealt shard the
+// sequence is a subset of the star's partitions (Config.PartSubset), and
+// global maps each scan-local partition back to its star-wide index so
+// pruning metadata (runningQuery.needParts) stays in one coordinate
+// system however the partitions were dealt.
 type factScan struct {
 	parts   []scanPart
-	static  bool // partitioned stars are static; single heaps may grow
+	global  []int // star-wide partition index of each scan-local part
+	static  bool  // partitioned stars are static; single heaps may grow
 	rpp     int
 	ncols   int
 	offsets []int64 // starting row position of each partition (static)
@@ -28,19 +33,30 @@ type factScan struct {
 	scratch []byte
 }
 
-func newFactScan(star *catalog.Star, override PageSource) *factScan {
+func newFactScan(star *catalog.Star, override PageSource, subset []int) *factScan {
 	var parts []scanPart
+	var global []int
 	if override != nil {
 		parts = []scanPart{{src: override}}
+		global = []int{0}
 	} else {
-		for _, p := range star.Partitions() {
-			parts = append(parts, scanPart{src: p.Heap})
+		all := star.Partitions()
+		if subset == nil {
+			subset = make([]int, len(all))
+			for i := range all {
+				subset[i] = i
+			}
+		}
+		for _, g := range subset {
+			parts = append(parts, scanPart{src: all[g].Heap})
+			global = append(global, g)
 		}
 	}
 	first := parts[0].src
 	s := &factScan{
 		parts:   parts,
-		static:  len(parts) > 1,
+		global:  global,
+		static:  override == nil && star.PartCol >= 0,
 		rpp:     first.RowsPerPage(),
 		ncols:   first.NumCols(),
 		vals:    make([]int64, first.RowsPerPage()*first.NumCols()),
@@ -57,8 +73,12 @@ func newFactScan(star *catalog.Star, override PageSource) *factScan {
 	return s
 }
 
-// pagesInPart returns the page count of partition i.
+// pagesInPart returns the page count of scan-local partition i.
 func (s *factScan) pagesInPart(i int) int { return s.parts[i].src.NumPages() }
+
+// globalOf maps a scan-local partition index to the star's global
+// partition index (they differ when the scan covers a dealt subset).
+func (s *factScan) globalOf(i int) int { return s.global[i] }
 
 // totalPages returns the current total page count across partitions.
 func (s *factScan) totalPages() int {

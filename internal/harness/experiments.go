@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 
 	"cjoin/internal/core"
 	"cjoin/internal/engine"
@@ -374,6 +375,7 @@ func RunDimAdmit(cfg Config, shards []int, n int) (Figure, error) {
 	if len(shards) == 0 {
 		shards = []int{1, 2, 4, 8}
 	}
+	shards = dealableShards(cfg, shards)
 	if n <= 0 {
 		n = 16
 	}
@@ -412,11 +414,36 @@ func RunDimAdmit(cfg Config, shards []int, n int) (Figure, error) {
 	return fig, nil
 }
 
+// dealableShards drops shard counts a partitioned star cannot run
+// (shard.New needs at least one partition per shard), so a sweep like
+// the default 1,2,4,8 over -partitions 4 measures every runnable point
+// instead of aborting — and discarding completed points — at the first
+// undealable one. The cap is reported, not silent.
+func dealableShards(cfg Config, shards []int) []int {
+	if cfg.Partitions <= 1 {
+		return shards
+	}
+	var out []int
+	for _, ns := range shards {
+		if ns <= cfg.Partitions {
+			out = append(out, ns)
+		} else {
+			fmt.Fprintf(os.Stderr,
+				"harness: skipping shards=%d (only %d partitions to deal; run with more -partitions)\n",
+				ns, cfg.Partitions)
+		}
+	}
+	return out
+}
+
 // RunShardScale measures the sharded execution tier: the same closed-loop
 // workload at concurrency n, run over 1..N fact-partitioned pipelines.
 // It reports throughput and the aggregate scan rate (pages consumed per
 // second across all shards) — the quantity the single-pipeline design
-// bounds and sharding is meant to lift. The dataset lives on an
+// bounds and sharding is meant to lift. With cfg.Partitions > 1 the fact
+// table is range-partitioned and the group deals whole partitions to
+// shards (pruning intact) instead of striding pages, so the same sweep
+// measures the partition-dealt topology. The dataset lives on an
 // unthrottled in-memory device unless the caller models a disk
 // explicitly: on the simulated single spindle every shard serializes
 // behind the same head, so the CPU scaling this experiment targets would
@@ -432,9 +459,14 @@ func RunShardScale(cfg Config, shards []int, n int) (Figure, error) {
 	if n <= 0 {
 		n = 32
 	}
+	shards = dealableShards(cfg, shards)
+	topology := "page-strided"
+	if cfg.Partitions > 1 {
+		topology = fmt.Sprintf("partition-dealt (%d range partitions)", cfg.Partitions)
+	}
 	fig := Figure{
 		ID:     "shardscale",
-		Title:  fmt.Sprintf("Shard scaling: %d-query closed loop over N fact-partitioned pipelines", n),
+		Title:  fmt.Sprintf("Shard scaling: %d-query closed loop over N %s pipelines", n, topology),
 		XLabel: "shards",
 		YLabel: "throughput (queries/hour), scan rate (pages/s)",
 	}

@@ -57,6 +57,10 @@ type Config struct {
 	// Shards fans the execution tier out over this many fact-partitioned
 	// pipelines (internal/shard). <= 1 keeps the paper's single pipeline.
 	Shards int
+	// Partitions range-partitions the fact table by order date into this
+	// many heaps (§5). With Shards > 1 the group deals whole partitions
+	// to shards instead of striding pages; requires Partitions >= Shards.
+	Partitions int
 	// MemDisk keeps the dataset on an unthrottled in-memory device
 	// instead of the DefaultDisk cost model — for experiments that
 	// measure CPU scaling of the pipelines themselves (e.g. shard
@@ -113,6 +117,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		SF:            cfg.SF,
 		FactRowsPerSF: cfg.FactRowsPerSF,
 		Seed:          cfg.Seed,
+		Partitions:    cfg.Partitions,
 		Disk:          cfg.Disk,
 	})
 	if err != nil {

@@ -355,6 +355,13 @@ type shardStatser interface {
 	StatsWithShards() (core.Stats, []core.Stats)
 }
 
+// shardPartitioner is implemented by partition-dealt groups
+// (internal/shard.Group over a range-partitioned star) exposing which
+// global partitions each shard scans.
+type shardPartitioner interface {
+	ShardPartitions() [][]int
+}
+
 // wireStats converts a core.Stats snapshot to its wire form.
 func wireStats(ps core.Stats) PipelineStats {
 	out := PipelineStats{
@@ -401,6 +408,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	pipeline := wireStats(ps)
 	pipeline.MaxConcurrent = s.exec.MaxConcurrent()
 	pipeline.Active = s.exec.ActiveQueries()
+	if s.star.PartCol >= 0 {
+		pipeline.Partitions = len(s.star.Partitions())
+	}
 
 	out := StatsResponse{
 		UptimeMillis: time.Since(s.started).Milliseconds(),
@@ -426,6 +436,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, st := range perShard {
 		out.Shards = append(out.Shards, wireStats(st))
+	}
+	if sp, ok := s.exec.(shardPartitioner); ok {
+		if subs := sp.ShardPartitions(); subs != nil {
+			for i := range out.Shards {
+				if i < len(subs) {
+					out.Shards[i].Partitions = len(subs[i])
+				}
+			}
+		}
 	}
 	for name, cs := range as.PerClient {
 		c := ClientStats{

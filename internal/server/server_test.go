@@ -27,15 +27,16 @@ type testEnv struct {
 }
 
 func startServer(t testing.TB, rows, maxConc int, dc disk.Config, acfg admission.Config) *testEnv {
-	return startServerSharded(t, rows, maxConc, 1, dc, acfg)
+	return startServerSharded(t, rows, maxConc, 1, 0, dc, acfg)
 }
 
 // startServerSharded runs the service layer over a sharded execution
 // tier (shards = 1 degenerates to the single pipeline) — the same wiring
-// cjoind -shards uses.
-func startServerSharded(t testing.TB, rows, maxConc, shards int, dc disk.Config, acfg admission.Config) *testEnv {
+// cjoind -shards uses. parts > 1 range-partitions the fact table, so the
+// group deals whole partitions instead of striding pages.
+func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.Config, acfg admission.Config) *testEnv {
 	t.Helper()
-	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: rows, Seed: 11, Disk: dc})
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: rows, Seed: 11, Partitions: parts, Disk: dc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestDrainRejectsNewWork(t *testing.T) {
 // racing startup or drain, and the drain must complete cleanly.
 func TestEndToEndShardedOverload(t *testing.T) {
 	const maxConc, shards = 4, 4
-	env := startServerSharded(t, 1600, maxConc, shards, disk.Config{}, admission.Config{MaxQueue: 64})
+	env := startServerSharded(t, 1600, maxConc, shards, 0, disk.Config{}, admission.Config{MaxQueue: 64})
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 

@@ -132,6 +132,12 @@ type PipelineStats struct {
 	PlaneBytes     int64 `json:"plane_bytes,omitempty"`
 	PlanePeakBytes int64 `json:"plane_peak_bytes,omitempty"`
 	PlanePipelines int   `json:"plane_pipelines,omitempty"`
+
+	// Partitions is the number of §5 range partitions behind this entry:
+	// on the merged pipeline entry, the star's partition count; on a
+	// per-shard entry of a partition-dealt group, the partitions dealt to
+	// that shard. Absent for unpartitioned stars.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.

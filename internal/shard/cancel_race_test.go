@@ -3,6 +3,7 @@ package shard_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -11,23 +12,20 @@ import (
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
 	"cjoin/internal/query"
+	"cjoin/internal/shard"
+	"cjoin/internal/ssb"
 )
 
-// TestSharedPlaneCancelChurn is the cancellation stress test for the
-// shared dimension plane: queries are admitted once and activated on
-// every shard, then abandoned at random points — before activation (a
-// pre-canceled context), mid-admission (a context canceled concurrently
-// with SubmitCtx), and mid-flight (Handle.Cancel at a random delay,
-// racing both the scan and a concurrent duplicate Cancel). Each query's
-// slot and bit-vector column must be released exactly once across all
-// shards: a double release panics inside the plane (over-retire) or the
-// slot allocator (double free), and a leak shows up as a non-empty
-// plane after quiescing. Run under -race in CI.
-func TestSharedPlaneCancelChurn(t *testing.T) {
-	ds := genDataset(t, 1500, disk.Config{SeqBytesPerSec: 32 << 20})
-	g := startGroup(t, ds, 4)
-	sql := "SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"
-
+// runCancelChurn abandons queries at random points — before activation
+// (a pre-canceled context), mid-admission (a context canceled
+// concurrently with SubmitCtx), and mid-flight (Handle.Cancel at a
+// random delay, racing both the scan and a concurrent duplicate Cancel).
+// Each query's slot and bit-vector column must be released exactly once
+// across all shards: a double release panics inside the plane
+// (over-retire) or the slot allocator (double free), and a leak shows up
+// as a non-empty plane after quiescing. Run under -race in CI.
+func runCancelChurn(t *testing.T, ds *ssb.Dataset, g *shard.Group, sqlFor func(i int, rng *rand.Rand) string) {
+	t.Helper()
 	const iters = 60
 	// Gate concurrency below maxConc (8). Canceled queries release their
 	// plane slot asynchronously — at the next page boundary, once every
@@ -53,7 +51,7 @@ func TestSharedPlaneCancelChurn(t *testing.T) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			rng := rand.New(rand.NewSource(int64(i)))
-			b := bind(t, ds, sql)
+			b := bind(t, ds, sqlFor(i, rng))
 			switch i % 3 {
 			case 0:
 				// Canceled before admission: no slot may be consumed.
@@ -141,8 +139,17 @@ func TestSharedPlaneCancelChurn(t *testing.T) {
 	}
 }
 
-// TestSharedPlaneAdmitOnce pins the tentpole invariant numerically: one
-// logical query over a 4-shard group performs exactly one plane
+// TestSharedPlaneCancelChurn is the cancellation stress test for the
+// shared dimension plane over a page-strided (unpartitioned) group.
+func TestSharedPlaneCancelChurn(t *testing.T) {
+	ds := genDataset(t, 1500, disk.Config{SeqBytesPerSec: 32 << 20})
+	g := startGroup(t, ds, 4)
+	sql := "SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"
+	runCancelChurn(t, ds, g, func(int, *rand.Rand) string { return sql })
+}
+
+// TestSharedPlaneAdmitOnce pins the admit-once invariant numerically:
+// one logical query over a 4-shard group performs exactly one plane
 // admission and stores one copy of its dimension selection, however many
 // shards probe it.
 func TestSharedPlaneAdmitOnce(t *testing.T) {
@@ -173,4 +180,54 @@ func TestSharedPlaneAdmitOnce(t *testing.T) {
 	if got := g.Plane().InUse(); got != 0 {
 		t.Fatalf("slot not recycled after completion: %d in use", got)
 	}
+}
+
+// TestPartitionedAdmitOnce is the same invariant over a partition-dealt
+// group: dealing partitions must not change the admit-once lifecycle.
+func TestPartitionedAdmitOnce(t *testing.T) {
+	ds := genPartitionedDataset(t, 1500, 4, disk.Config{SeqBytesPerSec: 16 << 20})
+	g := startGroup(t, ds, 4)
+	h, err := g.Submit(bind(t, ds, "SELECT SUM(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_year = 1993"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Plane().Stats(); st.Admits != 1 || st.Probers != 4 {
+		t.Fatalf("partitioned group: admits=%d probers=%d, want 1 and 4", st.Admits, st.Probers)
+	}
+	if res := h.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	<-h.Done()
+	if got := g.Plane().InUse(); got != 0 {
+		t.Fatalf("slot not recycled after completion: %d in use", got)
+	}
+}
+
+// TestPartitionedPlaneCancelChurn runs the same churn over a
+// partition-dealt group, with randomized date windows so cancellation
+// races the pruned completion path too: queries that finish instantly on
+// a shard whose dealt partitions are all pruned, queries mid-countdown,
+// and queries spanning every partition. Slot lifecycle must stay
+// exactly-once across all of them. Run under -race in CI.
+func TestPartitionedPlaneCancelChurn(t *testing.T) {
+	ds := genPartitionedDataset(t, 1500, 4, disk.Config{SeqBytesPerSec: 32 << 20})
+	g := startGroup(t, ds, 4)
+	keys := ds.DateKeys
+	runCancelChurn(t, ds, g, func(i int, rng *rand.Rand) string {
+		switch i % 4 {
+		case 0:
+			// Unrestricted: every partition on every shard.
+			return "SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"
+		case 1:
+			// Empty key range: zero partitions, instant completion racing
+			// the cancel.
+			return "SELECT COUNT(*) AS n FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN 1 AND 2"
+		default:
+			lo := rng.Intn(len(keys) - 1)
+			hi := lo + rng.Intn(len(keys)-lo-1) + 1
+			return fmt.Sprintf(
+				"SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d GROUP BY d_year",
+				keys[lo], keys[hi])
+		}
+	})
 }

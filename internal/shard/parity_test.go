@@ -127,6 +127,130 @@ func TestShardParityRandomSSB(t *testing.T) {
 	}
 }
 
+// TestShardParityPartitionedSSB extends the exactness property to
+// range-partitioned stars: for randomized SSB queries — the workload
+// generator's templates plus AVG and LIMIT mutations and handcrafted
+// selective lo_orderdate windows that exercise §5 partition pruning —
+// every partition-dealt Group(N shards over P partitions) must return
+// results byte-identical to both a single pipeline over the same
+// partitioned star and the naive reference executor.
+func TestShardParityPartitionedSSB(t *testing.T) {
+	const parts = 5
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 3000, Seed: 7, Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.Config{MaxConcurrent: 8, Workers: 2}
+
+	single, err := core.NewPipeline(ds.Star, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Start()
+	t.Cleanup(single.Stop)
+
+	groups := make(map[int]*shard.Group)
+	for _, n := range []int{2, 3, parts} {
+		g, err := shard.New(ds.Star, shard.Config{Shards: n, Core: ccfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		t.Cleanup(g.Stop)
+		groups[n] = g
+	}
+
+	rng := rand.New(rand.NewSource(44))
+	w := ssb.NewWorkload(ds, 0.05, 17)
+	var texts []string
+	for i := 0; i < 16; i++ {
+		_, text := w.Next()
+		switch rng.Intn(3) {
+		case 0:
+			text = strings.Replace(text, "SUM(", "AVG(", 1)
+		case 1:
+			text = fmt.Sprintf("%s LIMIT %d", text, rng.Intn(5)+1)
+		}
+		texts = append(texts, text)
+	}
+	// Selective date windows: random spans from sub-partition slivers to
+	// multi-partition ranges, so pruning decisions (zero, one, some, all
+	// partitions) and the pruned completion path all get exercised across
+	// every shard topology.
+	keys := ds.DateKeys
+	for i := 0; i < 10; i++ {
+		lo := rng.Intn(len(keys))
+		span := rng.Intn(len(keys)/2) + 1
+		hi := lo + span
+		if hi >= len(keys) {
+			hi = len(keys) - 1
+		}
+		aggExpr := "SUM(lo_revenue) AS rev"
+		if i%3 == 0 {
+			aggExpr = "COUNT(*) AS n, AVG(lo_quantity) AS aq"
+		}
+		texts = append(texts, fmt.Sprintf(
+			"SELECT %s, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d GROUP BY d_year ORDER BY d_year",
+			aggExpr, keys[lo], keys[hi]))
+	}
+	// Handcrafted edges: an empty key range (every partition pruned) and
+	// an ORDER BY on an aggregate alias cut by LIMIT.
+	texts = append(texts,
+		"SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN 1 AND 2 GROUP BY d_year",
+		`SELECT SUM(lo_revenue) AS rev, COUNT(*) AS n, MIN(lo_discount) AS mn, MAX(lo_discount) AS mx, d_year, s_region
+		 FROM lineorder, date, supplier WHERE lo_orderdate = d_datekey AND lo_suppkey = s_suppkey
+		 GROUP BY d_year, s_region ORDER BY rev DESC LIMIT 6`,
+	)
+
+	for qi, text := range texts {
+		b, err := query.ParseBind(text, ds.Star)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", qi, text, err)
+		}
+		b.Snapshot = ds.Txn.Begin()
+
+		want, err := ref.Execute(b)
+		if err != nil {
+			t.Fatalf("query %d ref: %v", qi, err)
+		}
+		h, err := single.Submit(b)
+		if err != nil {
+			t.Fatalf("query %d single submit: %v", qi, err)
+		}
+		sres := h.Wait()
+		if sres.Err != nil {
+			t.Fatalf("query %d single: %v", qi, sres.Err)
+		}
+		if !ref.ResultsEqual(sres.Rows, want) {
+			t.Fatalf("query %d: single pipeline diverges from ref\nquery: %s\n got: %s\nwant: %s",
+				qi, text, dump(sres.Rows), dump(want))
+		}
+		for n, g := range groups {
+			gh, err := g.Submit(b)
+			if err != nil {
+				t.Fatalf("query %d group(%d) submit: %v", qi, n, err)
+			}
+			gres := gh.Wait()
+			if gres.Err != nil {
+				t.Fatalf("query %d group(%d): %v", qi, n, gres.Err)
+			}
+			if !ref.ResultsEqual(gres.Rows, want) {
+				t.Fatalf("query %d: %d-shard partitioned group diverges from ref\nquery: %s\n got: %s\nwant: %s",
+					qi, n, text, dump(gres.Rows), dump(want))
+			}
+			if !ref.ResultsEqual(gres.Rows, sres.Rows) {
+				t.Fatalf("query %d: %d-shard partitioned group diverges from single pipeline", qi, n)
+			}
+			// Pruning parity rides along: pages charged across shards
+			// must match the single pipeline's pruned count exactly.
+			if got := gh.PagesScanned(); got != h.PagesScanned() {
+				t.Fatalf("query %d: %d shards charged %d pages, single pipeline %d",
+					qi, n, got, h.PagesScanned())
+			}
+		}
+	}
+}
+
 func dump(rs []agg.Result) string {
 	var sb strings.Builder
 	for _, r := range rs {

@@ -5,21 +5,30 @@
 // The paper's CJOIN bounds throughput at one pipeline's continuous scan
 // rate: every registered query rides the same scan, so adding cores past
 // the Stage thread sweet spot buys nothing. Group breaks that bound the
-// way partitioned analytic engines do: the fact pages are dealt round-
-// robin (strided) across N inner Pipelines, each with its own continuous
-// scan, Filter stages, and Stage layout. A logical query is admitted
-// once — slot and dimension state live on the group's shared
-// internal/dimplane.Plane — then activated on every shard, and each
-// shard aggregates the fact tuples of its own partition. When all
-// shards complete the cycle, the per-shard partial aggregates are merged
-// associatively (agg.Merge), and ORDER BY / LIMIT are applied once at the
-// group level, so results are exactly those of a single pipeline over the
-// whole fact table.
+// way partitioned analytic engines do: the fact table is split across N
+// inner Pipelines, each with its own continuous scan, Filter stages, and
+// Stage layout. A logical query is admitted once — slot and dimension
+// state live on the group's shared internal/dimplane.Plane — then
+// activated on every shard, and each shard aggregates the fact tuples of
+// its own fraction. When all shards complete the cycle, the per-shard
+// partial aggregates are merged associatively (agg.Merge), and ORDER BY /
+// LIMIT are applied once at the group level, so results are exactly those
+// of a single pipeline over the whole fact table.
 //
-// The strided page assignment keeps every shard's page positions stable
-// as the fact heap grows (page p always belongs to shard p mod N, at
-// shard-local index p div N), preserving the §3.3.3 requirement that the
-// continuous scan can start and finalize queries at exact positions.
+// How the fact table is split depends on its physical layout:
+//
+//   - An unpartitioned heap is page-strided: pages are dealt round-robin
+//     across shards. Page p always belongs to shard p mod N, at
+//     shard-local index p div N — positions stay stable as the heap
+//     grows, preserving the §3.3.3 requirement that the continuous scan
+//     can start and finalize queries at exact positions.
+//   - A range-partitioned star (§5) has WHOLE partitions dealt to shards
+//     (DealPartitions), balanced by page count so date-skew does not pile
+//     onto one shard. Each shard cycles over its own partition subset,
+//     which keeps §5 partition pruning intact: a query tagged with the
+//     partitions it needs scans, on every shard, only the needed ∩ dealt
+//     subset, and the per-shard page charges sum exactly to the single-
+//     pipeline pruned count.
 //
 // Dimension state is NOT replicated across shards: the group owns one
 // internal/dimplane.Plane, a logical query is admitted to it exactly
@@ -35,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,10 +56,11 @@ import (
 	"cjoin/internal/query"
 )
 
-// RangePartitionedError reports an attempt to page-shard a star whose
-// fact table is range-partitioned (§5): page striding rides the
-// FactSource override, which partition pruning's scan ordering cannot
-// take. Deal partitions — not pages — to shard such a star (ROADMAP).
+// RangePartitionedError reports the one range-partitioned topology a
+// Group cannot run: more shards than partitions. Whole partitions are
+// the sharding unit (pruning owns the scan order inside each), so every
+// shard needs at least one — request fewer shards, or partition the
+// fact table finer.
 //
 // The type is exported so callers can distinguish a topology
 // misconfiguration from transient failures; it maps itself to HTTP 422
@@ -62,8 +73,8 @@ type RangePartitionedError struct {
 }
 
 func (e *RangePartitionedError) Error() string {
-	return fmt.Sprintf("shard: a range-partitioned star (%d partitions) cannot be page-sharded across %d pipelines; partition pruning owns the scan order — run -shards 1, or drop range partitioning",
-		e.Partitions, e.Shards)
+	return fmt.Sprintf("shard: cannot deal a range-partitioned star's %d partitions to %d shards; whole partitions are the sharding unit — run -shards <= %d, or partition the fact table finer",
+		e.Partitions, e.Shards, e.Partitions)
 }
 
 // HTTPStatus maps the error to 422 Unprocessable Entity.
@@ -77,8 +88,53 @@ type Config struct {
 	// Core configures each inner pipeline. Workers is the total Stage
 	// thread budget for the whole group and is divided evenly across
 	// shards (minimum 1 per shard); FactSource, if set, is the base
-	// source the pages of which are strided across shards.
+	// source the pages of which are strided across shards (unpartitioned
+	// stars only). PartSubset must be nil: the group computes the
+	// partition deal itself.
 	Core core.Config
+}
+
+// DealPartitions assigns partitions to shards balanced by page count —
+// LPT (longest-processing-time) greedy: partitions are considered in
+// descending page order and each lands on the currently lightest shard,
+// so one oversized partition cannot drag whole small ones onto its
+// shard. Ties prefer the shard holding fewer partitions (then the lower
+// index), which keeps every shard non-empty whenever len(pages) >=
+// shards even if some partitions hold zero pages. The returned subsets
+// are global partition indices, sorted ascending within each shard so
+// the dealt scan preserves the star's partition order. Deterministic:
+// the same inputs always produce the same deal, so every layer — group,
+// stats, tests — can re-derive the topology.
+//
+// With fewer partitions than shards the trailing shards come back
+// empty; Group rejects that topology (RangePartitionedError) because an
+// empty shard has no scan to run.
+func DealPartitions(pages []int, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	order := make([]int, len(pages))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pages[order[a]] > pages[order[b]] })
+	subsets := make([][]int, shards)
+	load := make([]int64, shards)
+	for _, p := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] ||
+				(load[s] == load[best] && len(subsets[s]) < len(subsets[best])) {
+				best = s
+			}
+		}
+		subsets[best] = append(subsets[best], p)
+		load[best] += int64(pages[p])
+	}
+	for _, sub := range subsets {
+		sort.Ints(sub)
+	}
+	return subsets
 }
 
 // Group is a sharded executor: one logical CJOIN operator composed of N
@@ -89,6 +145,9 @@ type Group struct {
 	// run once per logical query; every shard probes its snapshots.
 	plane *dimplane.Plane
 	pipes []*core.Pipeline
+	// subsets is the partition deal behind each shard (global partition
+	// indices, index-aligned with pipes); nil for a page-strided group.
+	subsets [][]int
 
 	// mu guards lifecycle transitions so Stats/ShardStats snapshots never
 	// race Start or Stop — the same snapshot discipline the admission
@@ -107,8 +166,14 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 	if n <= 1 {
 		n = 1
 	}
+	// A range-partitioned star shards by dealing whole partitions; that
+	// needs at least one partition per shard.
+	var subsets [][]int
 	if star.PartCol >= 0 && n > 1 {
-		return nil, &RangePartitionedError{Shards: n, Partitions: len(star.Partitions())}
+		if nparts := len(star.Partitions()); nparts < n {
+			return nil, &RangePartitionedError{Shards: n, Partitions: nparts}
+		}
+		subsets = DealPartitions(star.PartitionPages(), n)
 	}
 	if cfg.Core.Plane != nil {
 		// The group is the plane's owner: it sizes the prober count to
@@ -116,6 +181,11 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		// Honoring a foreign plane here would silently split admission
 		// state between two owners.
 		return nil, fmt.Errorf("shard: Config.Core.Plane must be nil; the group constructs and owns the shared dimension plane")
+	}
+	if cfg.Core.PartSubset != nil {
+		// The deal is the group's planning step; a caller-chosen subset
+		// would be silently replicated to every shard.
+		return nil, fmt.Errorf("shard: Config.Core.PartSubset must be nil; the group deals partitions to shards itself")
 	}
 	workers := cfg.Core.Workers
 	if workers <= 0 {
@@ -136,14 +206,18 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		MaxConcurrent: norm.MaxConcurrent,
 		LegacyMap:     norm.LegacyMapFilter,
 	})
-	g := &Group{star: star, plane: plane}
+	g := &Group{star: star, plane: plane, subsets: subsets}
 	for i := 0; i < n; i++ {
 		cc := cfg.Core
 		cc.MaxConcurrent = norm.MaxConcurrent
 		cc.Workers = perShard
 		cc.Plane = plane
 		if n > 1 {
-			cc.FactSource = &stridedSource{src: base, offset: i, stride: n}
+			if subsets != nil {
+				cc.PartSubset = subsets[i]
+			} else {
+				cc.FactSource = &stridedSource{src: base, offset: i, stride: n}
+			}
 		}
 		p, err := core.NewPipeline(star, cc)
 		if err != nil {
@@ -162,6 +236,20 @@ func (g *Group) Plane() *dimplane.Plane { return g.plane }
 
 // NumShards returns the number of inner pipelines.
 func (g *Group) NumShards() int { return len(g.pipes) }
+
+// ShardPartitions returns the global partition indices dealt to each
+// shard, index-aligned with the shard topology, or nil for a
+// page-strided (unpartitioned) group. The returned slices are copies.
+func (g *Group) ShardPartitions() [][]int {
+	if g.subsets == nil {
+		return nil
+	}
+	out := make([][]int, len(g.subsets))
+	for i, sub := range g.subsets {
+		out[i] = append([]int(nil), sub...)
+	}
+	return out
+}
 
 // Start launches every shard pipeline.
 func (g *Group) Start() {
@@ -458,9 +546,11 @@ func (h *groupHandle) PagesScanned() int64 {
 	return n
 }
 
-// Progress averages shard progress; strided partitioning keeps shard
-// page counts within one page of each other, so the unweighted mean is
-// accurate.
+// Progress averages shard progress. Both deals balance shards by page
+// count — striding keeps them within one page, partition dealing within
+// one partition's pages — so the unweighted mean is a good estimate; a
+// shard with nothing to scan for this query (every dealt partition
+// pruned) reports 1 and only pulls the mean toward completion.
 func (h *groupHandle) Progress() float64 {
 	var sum float64
 	for _, sh := range h.subs {

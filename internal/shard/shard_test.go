@@ -254,44 +254,7 @@ func TestGroupStats(t *testing.T) {
 	wg.Wait()
 }
 
-// TestPartitionedStarRejected documents the topology constraint: page
-// striding composes with a single heap or a FactSource override, not
-// with §5 range partitioning (whose scan order partition pruning owns).
-func TestPartitionedStarRejected(t *testing.T) {
-	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 2000, Seed: 3, Partitions: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, err = shard.New(ds.Star, shard.Config{Shards: 2})
-	if err == nil {
-		t.Fatal("2-shard group over a partitioned star was accepted")
-	}
-	// The rejection is a typed topology error that carries its HTTP
-	// mapping (422) for the service layer.
-	var rpe *shard.RangePartitionedError
-	if !errors.As(err, &rpe) {
-		t.Fatalf("error is %T (%v), want *shard.RangePartitionedError", err, err)
-	}
-	if rpe.Shards != 2 || rpe.Partitions != 4 {
-		t.Fatalf("typed error fields: %+v", rpe)
-	}
-	if rpe.HTTPStatus() != 422 {
-		t.Fatalf("HTTPStatus() = %d, want 422", rpe.HTTPStatus())
-	}
-	// One shard is fine: no striding, partition pruning intact.
-	g, err := shard.New(ds.Star, shard.Config{Shards: 1, Core: core.Config{MaxConcurrent: 4, Workers: 1}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	g.Start()
-	t.Cleanup(g.Stop)
-	h, err := g.Submit(bind(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Partitioned datasets spread rows over partition heaps, so count
-	// against the configured row total.
-	if res := h.Wait(); res.Err != nil || res.Rows[0].Ints[0] != 2000 {
-		t.Fatalf("partitioned 1-shard count: %v", res)
-	}
-}
+// The former TestPartitionedStarRejected is superseded: partitioned
+// stars now shard by partition dealing (see partition_test.go;
+// TestPartitionedDegenerateRejected keeps the typed-422 contract for the
+// one remaining rejection, shards > partitions).
