@@ -6,15 +6,15 @@ GO        ?= go
 BENCH_N   ?= 1
 BENCHTIME ?= 1s
 
-.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke
+.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke chaos-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + full tests,
-# the concurrency-heavy packages under the race detector, and smoke
-# runs of the shared-dimension-plane and partition-dealt experiments
-# over 2-shard groups.
-ci: vet build test race-core dimadmit-smoke shardparts-smoke
+# the concurrency-heavy packages under the race detector, smoke runs
+# of the shared-dimension-plane and partition-dealt experiments over
+# 2-shard groups, and the shard-loss chaos smoke.
+ci: vet build test race-core dimadmit-smoke shardparts-smoke chaos-smoke
 
 # End-to-end smoke of the admit-once execution tier: the dimadmit
 # experiment exercises plane admission, fan-out activation, and merged
@@ -28,6 +28,13 @@ dimadmit-smoke:
 # completion under a real closed-loop workload.
 shardparts-smoke:
 	$(GO) run ./cmd/cjoin-bench -exp shardscale -partitions 6 -shards 1,2 -rows 2000 -queries 8 -n 8 -json > /dev/null
+
+# End-to-end graceful degradation: cjoind -shards 4 -chaos loses one
+# shard mid-workload; the daemon must stay up, /healthz must go
+# degraded, and queries over surviving partitions must keep completing
+# (scripts/chaos-smoke.sh).
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 race-core:
 	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/shard

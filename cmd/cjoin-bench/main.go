@@ -44,6 +44,7 @@ func main() {
 		threads = flag.Int("threads", 5, "max stage threads for figure4")
 		shards  = flag.String("shards", "", "comma-separated shard counts for shardscale (default 1,2,4,8)")
 		parts   = flag.Int("partitions", 0, "range-partition the fact table into N heaps; shardscale then deals whole partitions to shards (0 = unpartitioned, page-strided)")
+		chaos   = flag.String("chaos", "", "fault-injection spec armed on every measured executor (internal/fault grammar)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		jsonOut = flag.Bool("json", false, "emit the selected figures as one JSON document on stdout")
 	)
@@ -57,6 +58,7 @@ func main() {
 		Seed:          *seed,
 		MaxConcurrent: *maxConc,
 		Partitions:    *parts,
+		Chaos:         *chaos,
 	}
 	ns, err := parseInts(*nsFlag)
 	check(err)

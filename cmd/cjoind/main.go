@@ -18,6 +18,11 @@
 // SIGINT/SIGTERM triggers a graceful drain: new submissions get 503,
 // queued and running queries finish (up to -drain-timeout), the pipeline
 // quiesces, and the process exits.
+//
+// -chaos arms deterministic fault injection (internal/fault grammar) for
+// resilience testing: a sharded daemon that loses a pipeline quarantines
+// it, keeps serving on the survivors, and reports "degraded" on
+// /healthz. -stall-timeout arms the scan-progress liveness check.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"cjoin/internal/admission"
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
+	"cjoin/internal/fault"
 	"cjoin/internal/server"
 	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
@@ -55,8 +61,15 @@ func main() {
 		diskMBs  = flag.Float64("disk-mbps", 0, "simulated sequential bandwidth in MB/s (0 = unthrottled)")
 		seekMs   = flag.Duration("disk-seek", 0, "simulated seek penalty")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7;shard=1;scan-err=0.02;scan-fail=40' (see internal/fault)")
+		stallTO  = flag.Duration("stall-timeout", 0, "declare a shard dead after this long without scan progress (0 = off; sharded only)")
 	)
 	flag.Parse()
+
+	chaosSpec, err := fault.Parse(*chaos)
+	if err != nil {
+		log.Fatalf("-chaos: %v", err)
+	}
 
 	log.SetPrefix("cjoind: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -91,10 +104,20 @@ func main() {
 		Workers:          *workers,
 		BatchRows:        *batch,
 		OptimizeInterval: 100 * time.Millisecond,
+		Logf:             log.Printf,
+	}
+	if chaosSpec != nil {
+		log.Printf("CHAOS ARMED: %s", chaosSpec)
 	}
 	var exec core.Executor
 	if *shards > 1 {
-		group, err := shard.New(ds.Star, shard.Config{Shards: *shards, Core: coreCfg})
+		group, err := shard.New(ds.Star, shard.Config{
+			Shards:       *shards,
+			Core:         coreCfg,
+			Fault:        chaosSpec,
+			StallTimeout: *stallTO,
+			Logf:         log.Printf,
+		})
 		if err != nil {
 			log.Fatalf("shard group: %v", err)
 		}
@@ -107,6 +130,8 @@ func main() {
 			log.Printf("sharded execution started: %d page-strided pipelines, maxconc=%d", group.NumShards(), *maxConc)
 		}
 	} else {
+		// Single pipeline: derive the (sole) shard's injector directly.
+		coreCfg.Fault = chaosSpec.ForShard(0)
 		pipe, err := core.NewPipeline(ds.Star, coreCfg)
 		if err != nil {
 			log.Fatalf("pipeline: %v", err)

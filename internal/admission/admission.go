@@ -20,6 +20,8 @@ package admission
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
@@ -34,9 +36,37 @@ var (
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("admission: queue closed")
 	// ErrDeadlineExceeded fails a ticket whose queue wait passed its
-	// deadline before a pipeline slot freed up.
+	// deadline before a pipeline slot freed up. Surfaced wrapped in a
+	// *DeadlineError; match with errors.Is.
 	ErrDeadlineExceeded = errors.New("admission: queue-wait deadline exceeded")
 )
+
+// DeadlineError is the typed queue-wait-deadline failure. The query
+// never reached the pipeline, so a retry is always safe — it maps to
+// HTTP 429 (Too Many Requests) with a Retry-After hint, the
+// backpressure signal, deliberately distinct from the 503 a draining or
+// degraded serving tier returns.
+type DeadlineError struct {
+	// Waited is how long the ticket queued before its deadline fired.
+	Waited time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("admission: queue-wait deadline exceeded after %v", e.Waited.Round(time.Millisecond))
+}
+
+// Unwrap keeps errors.Is(err, ErrDeadlineExceeded) working.
+func (e *DeadlineError) Unwrap() error { return ErrDeadlineExceeded }
+
+// HTTPStatus maps the error to 429 Too Many Requests.
+func (e *DeadlineError) HTTPStatus() int { return http.StatusTooManyRequests }
+
+// Retryable marks the failure as safe to retry after backoff.
+func (e *DeadlineError) Retryable() bool { return true }
+
+// RetryAfter is the suggested client backoff, surfaced as the HTTP
+// Retry-After header.
+func (e *DeadlineError) RetryAfter() time.Duration { return time.Second }
 
 // Config tunes a Queue. The zero value takes defaults from the pipeline.
 type Config struct {
@@ -479,7 +509,7 @@ func (t *Ticket) requeueFront() {
 		t.mu.Unlock()
 		t.finishWaiting(timer, StateCanceled)
 	case t.expirePending:
-		timer := t.transitionLocked(StateExpired, ErrDeadlineExceeded)
+		timer := t.transitionLocked(StateExpired, &DeadlineError{Waited: time.Since(t.enqueued)})
 		t.mu.Unlock()
 		t.finishWaiting(timer, StateExpired)
 	default:
@@ -573,7 +603,7 @@ func (t *Ticket) expire() {
 	t.mu.Lock()
 	switch t.state {
 	case StateQueued:
-		timer := t.transitionLocked(StateExpired, ErrDeadlineExceeded)
+		timer := t.transitionLocked(StateExpired, &DeadlineError{Waited: time.Since(t.enqueued)})
 		t.mu.Unlock()
 		t.finishWaiting(timer, StateExpired)
 	case StateAdmitting:

@@ -219,6 +219,19 @@ func TestQueueWaitDeadline(t *testing.T) {
 	if !errors.Is(res.Err, admission.ErrDeadlineExceeded) {
 		t.Fatalf("impatient result %v", res.Err)
 	}
+	// The failure is typed for the serving tier: retryable backpressure
+	// (429 + Retry-After), not a 5xx — the query never ran.
+	var de *admission.DeadlineError
+	if !errors.As(res.Err, &de) {
+		t.Fatalf("expiry %v is not a *DeadlineError", res.Err)
+	}
+	if de.HTTPStatus() != 429 || !de.Retryable() || de.RetryAfter() <= 0 {
+		t.Fatalf("deadline error contract: status=%d retryable=%v after=%v",
+			de.HTTPStatus(), de.Retryable(), de.RetryAfter())
+	}
+	if de.Waited < 5*time.Millisecond {
+		t.Fatalf("DeadlineError.Waited = %v, below the 5ms deadline", de.Waited)
+	}
 	if impatient.State() != admission.StateExpired {
 		t.Fatalf("state %v", impatient.State())
 	}

@@ -14,10 +14,12 @@ const (
 	// ctrlEnd is the "end of query" tuple emitted when the continuous
 	// scan wraps around the query's starting tuple.
 	ctrlEnd
-	// ctrlAbort tears down every in-flight query with an error
-	// (e.g. an I/O failure in the continuous scan).
-	ctrlAbort
 )
+
+// Scan failures no longer flow through a control tuple: an unrecoverable
+// scan error transitions the whole pipeline to the terminal Failed state
+// (failure.go), whose sweep delivers the typed cause to every resident
+// query in one place.
 
 // control is the payload of a control batch.
 type control struct {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"cjoin/internal/dimplane"
+	"cjoin/internal/fault"
 )
 
 // Layout selects how Filters are boxed into Stages (§4).
@@ -114,6 +115,21 @@ type Config struct {
 	// query regardless of shard count. A non-nil plane must be built
 	// over the same star with the same MaxConcurrent.
 	Plane *dimplane.Plane
+	// Fault is this pipeline's deterministic fault injector for chaos
+	// testing (internal/fault): scan faults, admission faults, and armed
+	// panic points in the pipeline goroutines. Nil — the production
+	// configuration — reduces every hook to a single nil test.
+	Fault *fault.Injector
+	// ScanRetries bounds how many times a transient fact-scan error is
+	// retried at the same page boundary before the pipeline escalates to
+	// the terminal Failed state. Default 4.
+	ScanRetries int
+	// ScanRetryBackoff is the first retry's backoff; it doubles per
+	// attempt, capped at 100ms. Default 500µs.
+	ScanRetryBackoff time.Duration
+	// Logf, when non-nil, receives pipeline lifecycle warnings (failure
+	// transitions above all). The pipeline never logs on its own.
+	Logf func(format string, args ...any)
 }
 
 // Normalized fills zero fields with the pipeline defaults. Exported so
@@ -138,6 +154,12 @@ func (c Config) Normalized() Config {
 	}
 	if c.Stages <= 0 {
 		c.Stages = 2
+	}
+	if c.ScanRetries <= 0 {
+		c.ScanRetries = 4
+	}
+	if c.ScanRetryBackoff <= 0 {
+		c.ScanRetryBackoff = 500 * time.Microsecond
 	}
 	return c
 }

@@ -5,6 +5,7 @@ import (
 
 	"cjoin/internal/agg"
 	"cjoin/internal/expr"
+	"cjoin/internal/fault"
 	"cjoin/internal/query"
 )
 
@@ -29,7 +30,6 @@ type distributor struct {
 	queries []*runningQuery // slot-indexed; learned from control tuples
 	scratch expr.Joined
 	routed  int64
-	aborted error
 }
 
 func newDistributor(p *Pipeline, in chan *batch) *distributor {
@@ -43,7 +43,11 @@ func newDistributor(p *Pipeline, in chan *batch) *distributor {
 }
 
 func (d *distributor) run() {
+	// On panic the guard records the typed failure and the failure sweep
+	// owns delivery; the orphan sweep below is the clean-shutdown path.
+	defer d.p.guard("distributor")
 	for b := range d.in {
+		d.p.cfg.Fault.PanicPoint(fault.SiteDistributor)
 		d.pending[b.seq] = b
 		for {
 			nb, ok := d.pending[d.expect]
@@ -55,10 +59,13 @@ func (d *distributor) run() {
 			d.process(nb)
 		}
 	}
-	// Pipeline stopping: fail whatever is still registered.
+	// Pipeline stopping: fail whatever is still registered — with the
+	// typed failure cause when the shutdown is a preprocessor failure
+	// (the closed input is how it reaches us), ErrPipelineStopped on a
+	// clean Stop.
 	for _, rq := range d.queries {
 		if rq != nil {
-			rq.deliver(nil, ErrPipelineStopped)
+			rq.deliver(nil, d.p.terminalErr())
 		}
 	}
 }
@@ -68,10 +75,8 @@ func (d *distributor) process(b *batch) {
 		d.control(b.ctrl)
 		return
 	}
-	if d.aborted == nil {
-		for i := range b.rows {
-			d.route(&b.rows[i])
-		}
+	for i := range b.rows {
+		d.route(&b.rows[i])
 	}
 	d.p.pool.put(b)
 }
@@ -105,18 +110,6 @@ func (d *distributor) control(c *control) {
 		}
 		// Hand the slot to the pipeline manager for Algorithm 2 cleanup.
 		d.p.cleanupCh <- rq
-	case ctrlAbort:
-		d.aborted = c.err
-		for slot, rq := range d.queries {
-			if rq != nil {
-				rq.deliver(nil, c.err)
-				if rq.sink != nil {
-					rq.sink.Finalize(c.err)
-				}
-				d.queries[slot] = nil
-				d.p.cleanupCh <- rq
-			}
-		}
 	}
 }
 

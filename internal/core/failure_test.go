@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cjoin/internal/core"
+	"cjoin/internal/disk"
+	"cjoin/internal/fault"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+	"cjoin/internal/ssb"
+)
+
+func injector(t *testing.T, spec string) *fault.Injector {
+	t.Helper()
+	s, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.ForShard(0)
+}
+
+func slowDataset(t *testing.T, rows int) *ssb.Dataset {
+	t.Helper()
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: rows, Seed: 101,
+		Disk: disk.Config{SeqBytesPerSec: 8 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// expectFailed waits for the typed failure on a handle and checks the
+// pipeline's terminal surface: Failed channel closed, Health failed,
+// new submissions rejected with the same typed error, Done closing, and
+// — the accounting invariant — zero slots left admitted on the plane.
+func expectFailed(t *testing.T, p *core.Pipeline, ds *ssb.Dataset, hs []core.Handle) *core.PipelineFailedError {
+	t.Helper()
+	var ferr *core.PipelineFailedError
+	for _, h := range hs {
+		res := h.Wait()
+		if !errors.As(res.Err, &ferr) {
+			t.Fatalf("in-flight query got %v, want *PipelineFailedError", res.Err)
+		}
+		select {
+		case <-h.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatal("Done did not close for a failed query")
+		}
+	}
+	select {
+	case <-p.Failed():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Failed channel did not close")
+	}
+	if p.FailureCause() == nil {
+		t.Fatal("FailureCause is nil after failure")
+	}
+	if h := p.Health(); h.State != "failed" || h.Shards[0].State != core.ShardFailed {
+		t.Fatalf("health after failure: %+v", h)
+	}
+	if _, err := p.Submit(bindOne(t, ds, "SELECT COUNT(*) AS n FROM lineorder")); !errors.As(err, &ferr) {
+		t.Fatalf("submit on failed pipeline: %v, want *PipelineFailedError", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Plane().InUse() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Plane().InUse(); got != 0 {
+		t.Fatalf("%d plane slots leaked through pipeline failure", got)
+	}
+	return p.FailureCause()
+}
+
+func bindOne(t *testing.T, ds *ssb.Dataset, sql string) *query.Bound {
+	t.Helper()
+	q, err := query.ParseBind(sql, ds.Star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Snapshot = ds.Txn.Begin()
+	return q
+}
+
+// TestPanicContainedPerGoroutine injects a panic into each pipeline
+// goroutine in turn: the process must survive, resident queries must
+// receive the typed failure, and the plane must drop to zero slots.
+func TestPanicContainedPerGoroutine(t *testing.T) {
+	for _, site := range []string{fault.SitePreprocessor, fault.SiteDistributor} {
+		t.Run(site, func(t *testing.T) {
+			ds := slowDataset(t, 2000)
+			p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2,
+				Fault: injector(t, "seed=1;panic="+site+"@4")})
+			h, err := p.Submit(bindOne(t, ds, "SELECT SUM(lo_revenue) AS rev FROM lineorder, date WHERE lo_orderdate = d_datekey"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ferr := expectFailed(t, p, ds, []core.Handle{h})
+			var pv *fault.Panic
+			if !errors.As(ferr, &pv) || pv.Site != site {
+				t.Fatalf("failure cause %v does not carry the injected *fault.Panic for %s", ferr, site)
+			}
+		})
+	}
+}
+
+// TestPanicInManagerGoroutine arms the manager site: the panic fires
+// during the first query's Algorithm 2 cleanup, after its result was
+// delivered — the completed query keeps its result, later submissions
+// get the typed failure.
+func TestPanicInManagerGoroutine(t *testing.T) {
+	ds := dataset(t, 1000)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2,
+		Fault: injector(t, "seed=1;panic=mgr@1")})
+	h, err := p.Submit(bindOne(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Wait(); res.Err != nil {
+		t.Fatalf("query completed before the cleanup panic, result must stand: %v", res.Err)
+	}
+	ferr := expectFailed(t, p, ds, nil)
+	if ferr.Goroutine != "manager" {
+		t.Fatalf("failure origin %q, want manager", ferr.Goroutine)
+	}
+}
+
+// TestTransientScanErrorsRetried: a lossy source heals under the
+// page-boundary retry loop — the query completes with the exact
+// reference answer and the retry counter records the absorbed faults.
+func TestTransientScanErrorsRetried(t *testing.T) {
+	ds := dataset(t, 2000)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2,
+		Fault: injector(t, "seed=7;scan-err=0.1")})
+	q := bindOne(t, ds, "SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year")
+	h, err := p.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait()
+	if res.Err != nil {
+		t.Fatalf("query failed through transient errors: %v", res.Err)
+	}
+	want, err := ref.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.ResultsEqual(res.Rows, want) {
+		t.Fatal("results diverged from reference under transient scan faults")
+	}
+	if got := p.Stats().ScanRetries; got == 0 {
+		t.Fatal("no scan retries recorded despite scan-err=0.1")
+	}
+	if p.FailureCause() != nil {
+		t.Fatalf("pipeline failed: %v", p.FailureCause())
+	}
+}
+
+// TestScanRetriesExhausted: a source that always errors exhausts the
+// capped backoff and escalates to the terminal Failed state, carrying
+// the transient cause.
+func TestScanRetriesExhausted(t *testing.T) {
+	ds := dataset(t, 1000)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2,
+		ScanRetryBackoff: 50 * time.Microsecond,
+		Fault:            injector(t, "seed=1;scan-err=1")})
+	h, err := p.Submit(bindOne(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := expectFailed(t, p, ds, []core.Handle{h})
+	var fe *fault.Error
+	if !errors.As(ferr, &fe) || !fe.Transient() {
+		t.Fatalf("failure cause %v does not carry the transient *fault.Error", ferr)
+	}
+	if ferr.Goroutine != "preprocessor" {
+		t.Fatalf("failure origin %q, want preprocessor", ferr.Goroutine)
+	}
+}
+
+// TestScanHardFailureEscalatesImmediately: a hard page failure skips the
+// retry loop entirely.
+func TestScanHardFailureEscalatesImmediately(t *testing.T) {
+	ds := dataset(t, 1000)
+	in := injector(t, "seed=1;scan-fail=0")
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2, Fault: in})
+	h, err := p.Submit(bindOne(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := expectFailed(t, p, ds, []core.Handle{h})
+	var fe *fault.Error
+	if !errors.As(ferr, &fe) || fe.Transient() {
+		t.Fatalf("failure cause %v, want hard *fault.Error", ferr)
+	}
+	if st := p.Stats(); st.ScanRetries != 0 {
+		t.Fatalf("%d retries burned on a hard failure", st.ScanRetries)
+	}
+}
+
+// TestFailNow is the supervisor's lever: an externally declared failure
+// (e.g. stall detection) tears the pipeline down with the given cause.
+func TestFailNow(t *testing.T) {
+	ds := slowDataset(t, 2000)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2})
+	h, err := p.Submit(bindOne(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("declared dead by supervisor")
+	p.FailNow(cause)
+	p.FailNow(errors.New("second declaration must lose")) // idempotent
+	ferr := expectFailed(t, p, ds, []core.Handle{h})
+	if !errors.Is(ferr, cause) || ferr.Goroutine != "supervisor" {
+		t.Fatalf("failure = %v (origin %q), want the first declared cause", ferr, ferr.Goroutine)
+	}
+}
+
+// TestAdmitFaultRejectsCleanly: an injected admission error fails only
+// that submission — the pipeline stays healthy and the slot rolls back.
+func TestAdmitFaultRejectsCleanly(t *testing.T) {
+	ds := dataset(t, 1000)
+	p := startPipeline(t, ds, core.Config{MaxConcurrent: 4, Workers: 2,
+		Fault: injector(t, "seed=1;admit-err=1")})
+	_, err := p.Submit(bindOne(t, ds, "SELECT COUNT(*) AS n FROM lineorder"))
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Op != "admit" {
+		t.Fatalf("submit = %v, want injected admit *fault.Error", err)
+	}
+	if p.FailureCause() != nil || p.Plane().InUse() != 0 {
+		t.Fatalf("admission fault damaged the pipeline: cause=%v inUse=%d",
+			p.FailureCause(), p.Plane().InUse())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"cjoin/internal/bitvec"
 	"cjoin/internal/catalog"
 	"cjoin/internal/dimplane"
+	"cjoin/internal/fault"
 	"cjoin/internal/query"
 )
 
@@ -39,6 +40,11 @@ type runningQuery struct {
 	resultCh  chan QueryResult
 	delivered atomic.Bool
 	canceled  atomic.Bool
+	// released guards this pipeline's hold on the plane slot: Algorithm 2
+	// cleanup and the failure sweep can race (a Cancel in flight when a
+	// shard dies reaches both paths), and the plane panics on surplus
+	// retires, so the hold must be released exactly once.
+	released atomic.Bool
 
 	// Preprocessor-owned scan bookkeeping.
 	startPos  int64
@@ -69,6 +75,16 @@ func (rq *runningQuery) needsPart(g int) bool {
 
 func (rq *runningQuery) markCleaned() {
 	rq.cleanedOnce.Do(func() { close(rq.cleaned) })
+}
+
+// releaseHold retires this pipeline's hold on the query's plane slot if
+// it is still held, reporting whether this was the plane-wide final
+// retire. Exactly-once across cleanup and the failure sweep.
+func (rq *runningQuery) releaseHold() bool {
+	if rq.released.CompareAndSwap(false, true) {
+		return rq.p.plane.Retire(rq.slot)
+	}
+	return false
 }
 
 func (rq *runningQuery) deliver(rows []agg.Result, err error) {
@@ -192,6 +208,14 @@ type Pipeline struct {
 	stopped   atomic.Bool
 	wg        sync.WaitGroup
 
+	// failure is the terminal Failed state (see failure.go): set exactly
+	// once by fail, after which failedCh is closed and the pipeline winds
+	// down like Stop — but delivers the typed cause instead of
+	// ErrPipelineStopped and releases its plane holds.
+	failure  atomic.Pointer[PipelineFailedError]
+	failedCh chan struct{}
+	logf     func(format string, args ...any)
+
 	// pmMu serializes the pipeline-manager work: admission (Algorithm 1),
 	// cleanup (Algorithm 2), and filter reordering (§3.4). The paper runs
 	// these in a dedicated Pipeline Manager thread; a mutex gives the
@@ -214,10 +238,14 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 	plane := cfg.Plane
 	owns := plane == nil
 	if owns {
-		plane = dimplane.New(star, 1, dimplane.Config{
+		pcfg := dimplane.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			LegacyMap:     cfg.LegacyMapFilter,
-		})
+		}
+		if cfg.Fault != nil {
+			pcfg.AdmitFault = cfg.Fault.AdmitErr
+		}
+		plane = dimplane.New(star, 1, pcfg)
 	} else {
 		if plane.Star() != star {
 			return nil, fmt.Errorf("core: dimension plane built over a different star schema")
@@ -234,6 +262,8 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 		ownsPlane: owns,
 		cleanupCh: make(chan *runningQuery, cfg.MaxConcurrent+1),
 		stopCh:    make(chan struct{}),
+		failedCh:  make(chan struct{}),
+		logf:      cfg.Logf,
 		pmActive:  bitvec.New(cfg.MaxConcurrent),
 		live:      make(map[int]*runningQuery),
 	}
@@ -302,10 +332,18 @@ func (p *Pipeline) Start() {
 	p.dist = dist
 	p.pmMu.Unlock()
 
+	// Each goroutine carries a panic guard (failure.go): a crash in any
+	// of them fails this pipeline instead of the process. pp and dist
+	// register their guards inside run so they order correctly against
+	// the output-channel close.
 	p.wg.Add(3)
 	go func() { defer p.wg.Done(); pp.run() }()
 	go func() { defer p.wg.Done(); dist.run() }()
-	go func() { defer p.wg.Done(); p.managerLoop() }()
+	go func() {
+		defer p.wg.Done()
+		defer p.guard("manager")
+		p.managerLoop()
+	}()
 }
 
 // Stop shuts the pipeline down. In-flight queries receive
@@ -321,7 +359,7 @@ func (p *Pipeline) Stop() {
 	// sweep every query still tracked as live.
 	p.pmMu.Lock()
 	for _, rq := range p.live {
-		rq.deliver(nil, ErrPipelineStopped)
+		rq.deliver(nil, p.terminalErr())
 		// Algorithm 2 cleanup will never run for these queries (the
 		// manager loop has exited), so complete the Done contract here.
 		// A SubmitCtx rollback on the submitter's goroutine can still
@@ -344,6 +382,7 @@ func (p *Pipeline) managerLoop() {
 	for {
 		select {
 		case rq := <-p.cleanupCh:
+			p.cfg.Fault.PanicPoint(fault.SiteManager)
 			p.cleanup(rq)
 		case <-tick:
 			p.ReorderFilters()
@@ -390,6 +429,9 @@ func (p *Pipeline) submit(q *query.Bound, sink TupleSink) (*pipeHandle, error) {
 func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink) (*pipeHandle, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if f := p.failure.Load(); f != nil {
+		return nil, f
 	}
 	if p.stopped.Load() {
 		return nil, ErrPipelineStopped
@@ -444,10 +486,17 @@ func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink
 // Retirement contract: on success, this pipeline retires the slot
 // exactly once through its normal lifecycle (Algorithm 2 cleanup). On
 // error the slot has NOT been retired and never will be by this
-// pipeline, so the caller must compensate with one Plane.Retire — except
-// for ErrPipelineStopped, where delivery is owned by the shutdown sweep
-// and the slot is abandoned with the plane.
+// pipeline, so the caller must compensate with one Plane.Retire — with
+// one exception: ErrPipelineStopped, where delivery is owned by the
+// shutdown sweep and the slot is abandoned with the plane. A FAILED
+// pipeline returns its *PipelineFailedError instead (never bare
+// ErrPipelineStopped), and the caller compensates: the failure sweep
+// releases the holds of queries it swept, and a query rejected here was
+// never registered, so its hold is still the caller's.
 func (p *Pipeline) Activate(ctx context.Context, q *query.Bound, slot int) (Handle, error) {
+	if f := p.failure.Load(); f != nil {
+		return nil, f
+	}
 	if p.stopped.Load() {
 		return nil, ErrPipelineStopped
 	}
@@ -485,7 +534,20 @@ func (p *Pipeline) activate(ctx context.Context, q *query.Bound, slot int, sink 
 		rq.needParts = p.neededPartitions(q, slot)
 	}
 
+	// Register under the manager lock, re-checking the terminal states:
+	// the failure sweep runs under the same lock, so a query is either
+	// rejected here (its plane hold stays the caller's to release) or
+	// registered in live and guaranteed to be swept — never lost in
+	// between.
 	p.pmMu.Lock()
+	if f := p.failure.Load(); f != nil {
+		p.pmMu.Unlock()
+		return nil, f
+	}
+	if p.stopped.Load() {
+		p.pmMu.Unlock()
+		return nil, ErrPipelineStopped
+	}
 	p.rebuildFilterOrderLocked()
 	p.pmActive.Set(slot)
 	p.inFlight++
@@ -506,11 +568,17 @@ func (p *Pipeline) activate(ctx context.Context, q *query.Bound, slot int, sink 
 	}
 	// The installation command is in flight and the stall window is
 	// bounded (one page at most), so wait for it rather than abandoning a
-	// half-installed query.
+	// half-installed query. When the pipeline dies right after the
+	// install (both channels ready), the install wins: the handle is
+	// valid and the failure sweep delivers its result.
 	select {
 	case <-done:
 	case <-p.stopCh:
-		return nil, ErrPipelineStopped
+		select {
+		case <-done:
+		default:
+			return nil, ErrPipelineStopped
+		}
 	}
 	return &pipeHandle{rq: rq, submission: time.Since(start)}, nil
 }
@@ -521,11 +589,20 @@ func (p *Pipeline) activate(ctx context.Context, q *query.Bound, slot int, sink 
 // admission-time dimension query already identified the selected
 // dimension tuples; their key range prunes partitions exactly.
 func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
-	parts := p.star.Partitions()
+	return NeededPartitions(p.star, p.plane, q, slot)
+}
+
+// NeededPartitions is the §5 pruning primitive as a free function, so a
+// shard group can run the same feasibility analysis against its shared
+// plane — e.g. to decide whether a query can still be answered exactly
+// after a shard holding some partitions has been quarantined. The query
+// must already be admitted to the plane at slot.
+func NeededPartitions(star *catalog.Star, plane *dimplane.Plane, q *query.Bound, slot int) []bool {
+	parts := star.Partitions()
 	need := make([]bool, len(parts))
 	dimIdx := -1
-	for i := range p.star.Dims {
-		if p.star.FKCol[i] == p.star.PartCol && q.DimRefs[i] && q.HasDimPred(i) {
+	for i := range star.Dims {
+		if star.FKCol[i] == star.PartCol && q.DimRefs[i] && q.HasDimPred(i) {
 			dimIdx = i
 			break
 		}
@@ -536,7 +613,7 @@ func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
 		}
 		return need
 	}
-	minKey, maxKey, any := p.plane.SelectedKeyRange(dimIdx, slot)
+	minKey, maxKey, any := plane.SelectedKeyRange(dimIdx, slot)
 	if !any {
 		return need // query selects no partition-key values: zero pages
 	}
@@ -556,7 +633,7 @@ func (p *Pipeline) neededPartitions(q *query.Bound, slot int) []bool {
 // tuples in flight.
 func (p *Pipeline) cleanup(rq *runningQuery) {
 	p.deregister(rq)
-	if p.plane.Retire(rq.slot) {
+	if rq.releaseHold() {
 		// Final retire: the plane just ran Algorithm 2's removal, so a
 		// dimension's shared reference count may have dropped to zero —
 		// re-derive the active-filter list. A non-final retire cannot
@@ -571,12 +648,16 @@ func (p *Pipeline) cleanup(rq *runningQuery) {
 }
 
 // deregister removes a query from the pipeline-manager bookkeeping
-// without touching the shared plane.
+// without touching the shared plane. Idempotent: the failure sweep may
+// have deregistered the query already while its cleanup command was
+// still queued.
 func (p *Pipeline) deregister(rq *runningQuery) {
 	p.pmMu.Lock()
-	p.pmActive.Clear(rq.slot)
-	p.inFlight--
-	delete(p.live, rq.slot)
+	if cur, ok := p.live[rq.slot]; ok && cur == rq {
+		p.pmActive.Clear(rq.slot)
+		p.inFlight--
+		delete(p.live, rq.slot)
+	}
 	p.pmMu.Unlock()
 }
 
@@ -625,8 +706,14 @@ type Stats struct {
 	TuplesEmitted int64
 	PagesRead     int64
 	ScanCycles    int64
+	ScanRetries   int64 // transient scan errors absorbed by page-boundary retry
 	Filters       []FilterStats
 	FilterOrder   []string
+
+	// State is the pipeline's serving state; FailureCause carries the
+	// terminal failure message for a failed pipeline.
+	State        ShardState
+	FailureCause string
 
 	// Dimension-plane figures. Admission runs once per logical query on
 	// the shared plane and the stores are shared by every prober, so
@@ -648,12 +735,17 @@ func (p *Pipeline) Stats() Stats {
 	p.pmMu.Lock()
 	pp := p.pp
 	p.pmMu.Unlock()
-	s := Stats{}
+	s := Stats{State: ShardHealthy}
+	if f := p.failure.Load(); f != nil {
+		s.State = ShardFailed
+		s.FailureCause = f.Error()
+	}
 	if pp != nil {
 		s.TuplesScanned = pp.tuplesIn.Load()
 		s.TuplesEmitted = pp.tuplesOut.Load()
 		s.PagesRead = pp.pagesRead.Load()
 		s.ScanCycles = pp.scanCycles.Load()
+		s.ScanRetries = pp.scanRetries.Load()
 	}
 	for _, ds := range p.dimStates {
 		s.Filters = append(s.Filters, ds.stats())

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"cjoin/internal/bitvec"
 	"cjoin/internal/expr"
+	"cjoin/internal/fault"
 	"cjoin/internal/txn"
 )
 
@@ -52,14 +54,23 @@ type preprocessor struct {
 
 	scratch expr.Joined // reused for fact-predicate evaluation
 
-	tuplesIn   atomic.Int64
-	tuplesOut  atomic.Int64
-	pagesRead  atomic.Int64
-	scanCycles atomic.Int64
+	tuplesIn    atomic.Int64
+	tuplesOut   atomic.Int64
+	pagesRead   atomic.Int64
+	scanCycles  atomic.Int64
+	scanRetries atomic.Int64
 }
 
 func newPreprocessor(p *Pipeline) *preprocessor {
-	scan := newFactScan(p.star, p.cfg.FactSource, p.cfg.PartSubset)
+	var wrap func(PageSource) PageSource
+	if p.cfg.Fault != nil {
+		wrap = func(s PageSource) PageSource {
+			// core.PageSource and fault.PageSource are structurally
+			// identical; the interface-to-interface assignments convert.
+			return p.cfg.Fault.WrapSource(s, p.stopCh)
+		}
+	}
+	scan := newFactScan(p.star, p.cfg.FactSource, p.cfg.PartSubset, wrap)
 	return &preprocessor{
 		p:        p,
 		scan:     scan,
@@ -74,8 +85,13 @@ func newPreprocessor(p *Pipeline) *preprocessor {
 }
 
 func (pp *preprocessor) run() {
+	// Defers run LIFO: the panic guard registers AFTER the close so the
+	// failure state is recorded before the distributor can observe the
+	// closed channel and start its orphan sweep.
 	defer close(pp.out)
+	defer pp.p.guard("preprocessor")
 	for {
+		pp.p.cfg.Fault.PanicPoint(fault.SitePreprocessor)
 		if len(pp.active) == 0 {
 			// Idle: the always-on pipeline parks instead of spinning
 			// the scan.
@@ -101,13 +117,21 @@ func (pp *preprocessor) run() {
 		default:
 		}
 
-		vals, n, pos, part, _, err := pp.scan.nextPage(pp.skipPart)
+		vals, n, pos, part, _, err := pp.nextPageRetry()
 		if err != nil {
-			if !pp.emit(ctrlBatch(pp.nextSeq(), ctrlAbort, nil, err)) {
+			select {
+			case <-pp.stop:
+				// Shutdown raced the error; a clean stop wins.
 				return
+			default:
 			}
-			pp.active = nil
-			continue
+			// Retries exhausted or a hard failure: the scan cannot make
+			// progress, so the pipeline transitions to the terminal
+			// Failed state. fail's sweep delivers the typed cause to
+			// every resident query; under a shard group the siblings
+			// keep serving.
+			pp.p.fail("preprocessor", err)
+			return
 		}
 		if n == 0 {
 			// Nothing scannable; only control work remains.
@@ -129,6 +153,34 @@ func (pp *preprocessor) run() {
 			return
 		}
 		pp.afterPage(part)
+	}
+}
+
+// nextPageRetry wraps factScan.nextPage with capped exponential backoff
+// for transient errors (fault.Error and any source error implementing
+// Transient() bool). nextPage does not advance past a failed read, so
+// every retry re-reads the same page. Hard errors and exhausted retries
+// return to the caller for escalation; a pipeline stop during backoff
+// returns the pending error, which the caller's stop check supersedes.
+func (pp *preprocessor) nextPageRetry() (vals []int64, n int, pos int64, part int, wrapped bool, err error) {
+	const maxBackoff = 100 * time.Millisecond
+	backoff := pp.p.cfg.ScanRetryBackoff
+	for attempt := 0; ; attempt++ {
+		vals, n, pos, part, wrapped, err = pp.scan.nextPage(pp.skipPart)
+		if err == nil || !transientErr(err) || attempt >= pp.p.cfg.ScanRetries {
+			return
+		}
+		pp.scanRetries.Add(1)
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-pp.stop:
+			t.Stop()
+			return
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }
 

@@ -33,11 +33,17 @@ type factScan struct {
 	scratch []byte
 }
 
-func newFactScan(star *catalog.Star, override PageSource, subset []int) *factScan {
+// newFactScan builds the continuous scan. wrap, if non-nil, interposes
+// on every physical source — the fault injector's seam (ISSUE 6); the
+// wrapped source must preserve the original's geometry.
+func newFactScan(star *catalog.Star, override PageSource, subset []int, wrap func(PageSource) PageSource) *factScan {
+	if wrap == nil {
+		wrap = func(s PageSource) PageSource { return s }
+	}
 	var parts []scanPart
 	var global []int
 	if override != nil {
-		parts = []scanPart{{src: override}}
+		parts = []scanPart{{src: wrap(override)}}
 		global = []int{0}
 	} else {
 		all := star.Partitions()
@@ -48,7 +54,7 @@ func newFactScan(star *catalog.Star, override PageSource, subset []int) *factSca
 			}
 		}
 		for _, g := range subset {
-			parts = append(parts, scanPart{src: all[g].Heap})
+			parts = append(parts, scanPart{src: wrap(all[g].Heap)})
 			global = append(global, g)
 		}
 	}

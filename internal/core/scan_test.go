@@ -36,7 +36,7 @@ func partStar(t *testing.T, rowsPerPart []int64) *catalog.Star {
 
 func TestFactScanCyclesOverPartitions(t *testing.T) {
 	star := partStar(t, []int64{700, 300, 500}) // 511 rows/page → 2+1+1 pages
-	s := newFactScan(star, nil, nil)
+	s := newFactScan(star, nil, nil, nil)
 	// Two full cycles are consumed: the wrap flag arrives with the first
 	// page of the next cycle.
 	total := int64(2 * 1500)
@@ -72,7 +72,7 @@ func TestFactScanCyclesOverPartitions(t *testing.T) {
 
 func TestFactScanSkipsPartitions(t *testing.T) {
 	star := partStar(t, []int64{400, 400, 400})
-	s := newFactScan(star, nil, nil)
+	s := newFactScan(star, nil, nil, nil)
 	skipMiddle := func(p int) bool { return p == 1 }
 	seenParts := map[int]bool{}
 	for i := 0; i < 10; i++ {
@@ -95,7 +95,7 @@ func TestFactScanSkipsPartitions(t *testing.T) {
 
 func TestFactScanAllSkipped(t *testing.T) {
 	star := partStar(t, []int64{100})
-	s := newFactScan(star, nil, nil)
+	s := newFactScan(star, nil, nil, nil)
 	_, n, _, _, _, err := s.nextPage(func(int) bool { return true })
 	if err != nil || n != 0 {
 		t.Fatalf("fully skipped scan must return n=0: n=%d err=%v", n, err)
@@ -104,7 +104,7 @@ func TestFactScanAllSkipped(t *testing.T) {
 
 func TestFactScanPositionsStable(t *testing.T) {
 	star := partStar(t, []int64{700, 300})
-	s := newFactScan(star, nil, nil)
+	s := newFactScan(star, nil, nil, nil)
 	var firstCycle, secondCycle []int64
 	for {
 		_, _, pos, _, wrapped, err := s.nextPage(nil)

@@ -59,6 +59,9 @@ func (p *Pipeline) startStage(in chan *batch, dims []int, workers int) chan *bat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A worker panic fails the pipeline, not the process; the
+			// siblings unwind through the stop signal.
+			defer p.guard("stage")
 			for b := range in {
 				if b.ctrl == nil {
 					order := dims

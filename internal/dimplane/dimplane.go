@@ -51,6 +51,11 @@ type Config struct {
 	// LegacyMap swaps the lock-free copy-on-write dimht stores for the
 	// original map + RWMutex baseline. For ablation benchmarks only.
 	LegacyMap bool
+	// AdmitFault, when non-nil, is consulted at the top of every Admit;
+	// a non-nil return fails the admission with that error (the slot is
+	// rolled back). Fault-injection hook (internal/fault); nil in
+	// production.
+	AdmitFault func() error
 }
 
 // Plane owns the dimension state shared by every pipeline of one logical
@@ -59,9 +64,14 @@ type Config struct {
 // parallel, keeping submission time flat as concurrency grows, §6.2.2);
 // probers never block.
 type Plane struct {
-	star    *catalog.Star
-	cfg     Config
-	probers int
+	star *catalog.Star
+	cfg  Config
+	// probers is the number of pipelines holding each newly admitted
+	// slot. Atomic because a shard supervisor Detaches a quarantined
+	// pipeline while admissions proceed on survivors; the executor's
+	// submit/quarantine lock ordering guarantees every admission's
+	// fan-out width matches the value it read here.
+	probers atomic.Int32
 	ids     *bitvec.Allocator
 	stores  []Store
 	slots   []slotState
@@ -95,12 +105,12 @@ func New(star *catalog.Star, probers int, cfg Config) *Plane {
 	}
 	words := bitvec.Words(cfg.MaxConcurrent)
 	pl := &Plane{
-		star:    star,
-		cfg:     cfg,
-		probers: probers,
-		ids:     bitvec.NewAllocator(cfg.MaxConcurrent),
-		slots:   make([]slotState, cfg.MaxConcurrent),
+		star:  star,
+		cfg:   cfg,
+		ids:   bitvec.NewAllocator(cfg.MaxConcurrent),
+		slots: make([]slotState, cfg.MaxConcurrent),
 	}
+	pl.probers.Store(int32(probers))
 	for i := range star.Dims {
 		if cfg.LegacyMap {
 			pl.stores = append(pl.stores, NewMapStore(cfg.MaxConcurrent))
@@ -120,8 +130,22 @@ func (pl *Plane) Star() *catalog.Star { return pl.star }
 // MaxConcurrent returns the plane's slot bound (bit-vector width).
 func (pl *Plane) MaxConcurrent() int { return pl.cfg.MaxConcurrent }
 
-// Probers returns the number of pipelines sharing the plane.
-func (pl *Plane) Probers() int { return pl.probers }
+// Probers returns the number of pipelines currently sharing the plane
+// (quarantined pipelines excluded once Detached).
+func (pl *Plane) Probers() int { return int(pl.probers.Load()) }
+
+// Detach removes one prober from the plane: slots admitted from now on
+// expect one fewer Retire. Called by the shard supervisor after
+// quarantining a failed pipeline, once that pipeline's holds on already
+// admitted slots have been released (its failure sweep does this), so
+// accounting stays exact for old and new slots alike. Callers must
+// serialize Detach against Admit+activation fan-out (shard.Group's
+// supervision lock does).
+func (pl *Plane) Detach() {
+	if pl.probers.Add(-1) < 1 {
+		panic("dimplane: detached the last prober")
+	}
+}
 
 // NumDims returns the number of dimension stores.
 func (pl *Plane) NumDims() int { return len(pl.stores) }
@@ -168,6 +192,12 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 	if !ok {
 		return -1, ErrSlotsExhausted
 	}
+	if pl.cfg.AdmitFault != nil {
+		if err := pl.cfg.AdmitFault(); err != nil {
+			pl.ids.Free(slot)
+			return -1, err
+		}
+	}
 	ss := &pl.slots[slot]
 	copy(ss.refs, q.DimRefs)
 	for i, st := range pl.stores {
@@ -193,7 +223,7 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 			return -1, err
 		}
 	}
-	ss.remain.Store(int32(pl.probers))
+	ss.remain.Store(pl.probers.Load())
 	pl.admits.Add(1)
 	pl.admitNanos.Add(time.Since(start).Nanoseconds())
 	pl.notePeak()
@@ -223,6 +253,20 @@ func (pl *Plane) Retire(slot int) (final bool) {
 	}
 	pl.ids.Free(slot)
 	return true
+}
+
+// Abort fully releases a slot that was admitted but never activated on
+// any pipeline — the degraded-mode rejection path, where the executor
+// discovers after admission that a query's needed partitions live on a
+// quarantined shard. No pipeline holds the slot, so the removal runs
+// immediately regardless of the prober count.
+func (pl *Plane) Abort(slot int) {
+	ss := &pl.slots[slot]
+	ss.remain.Store(0)
+	for i, st := range pl.stores {
+		st.Remove(slot, ss.refs[i])
+	}
+	pl.ids.Free(slot)
 }
 
 // SelectedKeyRange returns the min and max key stored in dimension dim
@@ -294,6 +338,6 @@ func (pl *Plane) Stats() Stats {
 		MemBytes:     pl.MemBytes(),
 		PeakMemBytes: pl.peakBytes.Load(),
 		InUse:        pl.ids.InUse(),
-		Probers:      pl.probers,
+		Probers:      int(pl.probers.Load()),
 	}
 }

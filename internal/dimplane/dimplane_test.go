@@ -272,3 +272,96 @@ func TestConcurrentAdmitRetire(t *testing.T) {
 		t.Fatalf("churn left inuse=%d len=%d refs=%d", pl.InUse(), pl.Store(0).Len(), pl.Store(0).RefCount())
 	}
 }
+
+// TestDetachShrinksRetirement verifies the supervisor's quarantine
+// primitive: after Detach, new admissions need one fewer Retire, while
+// slots admitted before keep their original count (the dead prober's
+// hold is released by its failure sweep, which is one of the N).
+func TestDetachShrinksRetirement(t *testing.T) {
+	star := miniStar(t, 20)
+	pl := New(star, 3, Config{MaxConcurrent: 8})
+	before, err := pl.Admit(context.Background(), boundRef(star, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Detach()
+	if got := pl.Probers(); got != 2 {
+		t.Fatalf("probers after Detach = %d, want 2", got)
+	}
+	after, err := pl.Admit(context.Background(), boundRef(star, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-Detach slot still takes 3 retires.
+	if pl.Retire(before) || pl.Retire(before) {
+		t.Fatal("pre-Detach slot released early")
+	}
+	if !pl.Retire(before) {
+		t.Fatal("third retire of pre-Detach slot not final")
+	}
+	// Post-Detach slot takes 2.
+	if pl.Retire(after) {
+		t.Fatal("post-Detach slot released after one retire")
+	}
+	if !pl.Retire(after) {
+		t.Fatal("second retire of post-Detach slot not final")
+	}
+	if pl.InUse() != 0 {
+		t.Fatalf("InUse = %d", pl.InUse())
+	}
+	// Detaching down to zero probers is an accounting bug.
+	pl.Detach()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("detaching the last prober did not panic")
+		}
+	}()
+	pl.Detach()
+}
+
+// TestAbortReleasesUnactivatedSlot verifies the degraded-mode rejection
+// path: a slot admitted but never handed to any pipeline is fully
+// released by one Abort, whatever the prober count.
+func TestAbortReleasesUnactivatedSlot(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, legacy bool) {
+		star := miniStar(t, 20)
+		pl := New(star, 4, Config{MaxConcurrent: 8, LegacyMap: legacy})
+		slot, err := pl.Admit(context.Background(), boundRef(star, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Abort(slot)
+		if pl.InUse() != 0 || pl.Store(0).Len() != 0 || pl.Store(0).RefCount() != 0 {
+			t.Fatalf("Abort left state behind: inuse=%d len=%d refs=%d",
+				pl.InUse(), pl.Store(0).Len(), pl.Store(0).RefCount())
+		}
+		// The slot is reusable immediately.
+		if _, err := pl.Admit(context.Background(), boundRef(star, 2)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAdmitFaultHook verifies an injected admission error rolls the slot
+// back and leaves the plane clean.
+func TestAdmitFaultHook(t *testing.T) {
+	star := miniStar(t, 20)
+	boom := errors.New("injected")
+	fail := true
+	pl := New(star, 2, Config{MaxConcurrent: 8, AdmitFault: func() error {
+		if fail {
+			return boom
+		}
+		return nil
+	}})
+	if _, err := pl.Admit(context.Background(), boundRef(star, 2)); !errors.Is(err, boom) {
+		t.Fatalf("Admit = %v, want injected error", err)
+	}
+	if pl.InUse() != 0 || pl.Store(0).Len() != 0 {
+		t.Fatalf("failed admission left state: inuse=%d len=%d", pl.InUse(), pl.Store(0).Len())
+	}
+	fail = false
+	if _, err := pl.Admit(context.Background(), boundRef(star, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

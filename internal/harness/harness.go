@@ -20,6 +20,7 @@ import (
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
 	"cjoin/internal/engine"
+	"cjoin/internal/fault"
 	"cjoin/internal/query"
 	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
@@ -67,6 +68,10 @@ type Config struct {
 	// scan-rate scaling), where a simulated single spindle would
 	// serialize all shards and measure only the device model.
 	MemDisk bool
+	// Chaos is a fault-injection spec (internal/fault grammar) armed on
+	// every executor the harness builds — for measuring experiments
+	// under injected faults. Empty runs clean.
+	Chaos string
 }
 
 // DefaultDisk is the scaled device model: 100 MB/s sequential bandwidth
@@ -281,14 +286,19 @@ func (e *Env) normalizeCore(coreCfg core.Config) core.Config {
 // is started; the caller owns Stop.
 func (e *Env) NewExecutor(coreCfg core.Config) (core.Executor, error) {
 	coreCfg = e.normalizeCore(coreCfg)
+	spec, err := fault.Parse(e.Cfg.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("harness: chaos spec: %v", err)
+	}
 	if e.Cfg.Shards > 1 {
-		g, err := shard.New(e.Dataset.Star, shard.Config{Shards: e.Cfg.Shards, Core: coreCfg})
+		g, err := shard.New(e.Dataset.Star, shard.Config{Shards: e.Cfg.Shards, Core: coreCfg, Fault: spec})
 		if err != nil {
 			return nil, err
 		}
 		g.Start()
 		return g, nil
 	}
+	coreCfg.Fault = spec.ForShard(0)
 	p, err := core.NewPipeline(e.Dataset.Star, coreCfg)
 	if err != nil {
 		return nil, err

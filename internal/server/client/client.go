@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +45,9 @@ func New(base string, opts ...Option) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint, zero when the
+	// response carried none.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -51,6 +56,16 @@ func (e *APIError) Error() string {
 
 // IsOverload reports whether the error is a 429 queue-full rejection.
 func (e *APIError) IsOverload() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+// IsRetryable reports whether the failure is worth retrying after
+// backoff: the server either said so explicitly (Retry-After — queue
+// full, queue-wait expiry, quarantined shard) or answered 503 while
+// degraded/draining.
+func (e *APIError) IsRetryable() bool {
+	return e.RetryAfter > 0 ||
+		e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusServiceUnavailable
+}
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
@@ -90,7 +105,13 @@ func decodeErr(resp *http.Response) error {
 	if err := json.NewDecoder(resp.Body).Decode(&er); err == nil && er.Error != "" {
 		msg = er.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 // SubmitOptions customizes one submission.
@@ -137,6 +158,93 @@ func (c *Client) SubmitOpts(ctx context.Context, sql string, opts SubmitOptions)
 		return nil, err
 	}
 	return &Query{c: c, ID: st.ID, Initial: st}, nil
+}
+
+// RetryPolicy shapes SubmitRetry's backoff. The zero value takes the
+// defaults noted on each field.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first submission included).
+	// Default 4.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff. Default 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one sleep. Default 5s.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry number attempt
+// (0-based), honoring the server's Retry-After hint as a floor when it
+// is larger than the computed backoff. Full jitter in [d/2, d): N
+// clients retrying a lost shard's queries must not re-arrive in
+// lockstep.
+func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseBackoff << attempt
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	if hint > d {
+		d = hint
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// SubmitRetry is Submit with jittered-backoff retry on retryable
+// failures (429 backpressure, 503 degraded serving tier): the paper's
+// serving story under faults — a transient rejection is the client's
+// cue to back off, not an error to surface. Non-retryable errors and
+// context expiry return immediately.
+func (c *Client) SubmitRetry(ctx context.Context, sql string, opts SubmitOptions, pol RetryPolicy) (*Query, error) {
+	pol = pol.normalized()
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		q, err := c.SubmitOpts(ctx, sql, opts)
+		if err == nil {
+			return q, nil
+		}
+		lastErr = err
+		apiErr, ok := err.(*APIError)
+		if !ok || !apiErr.IsRetryable() {
+			return nil, err
+		}
+		timer := time.NewTimer(pol.backoff(attempt, apiErr.RetryAfter))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// Health fetches the serving state: "ok", "degraded" (with the
+// per-shard breakdown), "draining", or "failed". A 503 still decodes
+// the body — "failed" is a state report, not a transport error.
+func (c *Client) Health(ctx context.Context) (server.HealthResponse, error) {
+	var h server.HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	return h, json.NewDecoder(resp.Body).Decode(&h)
 }
 
 // Status fetches the query's live status: state, queue position,

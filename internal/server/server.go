@@ -101,11 +101,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /query/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
+}
+
+// healther is implemented by executors that expose a serving-state
+// breakdown (core.Pipeline, shard.Group). The server depends on the
+// interface only.
+type healther interface{ Health() core.Health }
+
+// handleHealth is the supervision-aware liveness probe:
+//
+//	200 {"state":"ok"}        every shard serving
+//	200 {"state":"degraded"}  shards quarantined, survivors serving
+//	200 {"state":"draining"}  graceful shutdown, in-flight work finishing
+//	503 {"state":"failed"}    no serving capacity left
+//
+// Degraded and draining stay 200 deliberately: the process is alive and
+// either still answers queries or is finishing the ones it accepted —
+// only total capacity loss flips the probe. The body and /stats carry
+// the per-shard detail for operators and alerting.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusOK, HealthResponse{State: "draining"})
+		return
+	}
+	h := core.Health{State: "ok"}
+	if he, ok := s.exec.(healther); ok {
+		h = he.Health()
+	}
+	out := HealthResponse{State: h.State}
+	for _, sh := range h.Shards {
+		out.Shards = append(out.Shards, ShardHealth{
+			Shard: sh.Shard,
+			State: string(sh.State),
+			Cause: sh.Cause,
+		})
+	}
+	code := http.StatusOK
+	if h.State == "failed" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
 }
 
 // Drain performs a graceful shutdown of the query layer: new submissions
@@ -150,6 +190,26 @@ func errStatus(err error, fallback int) int {
 	return fallback
 }
 
+// retryAfterer marks typed errors whose condition is transient — an
+// expired queue wait (admission.DeadlineError), a quarantined shard
+// (shard.ShardFailedError) — and carries the suggested backoff.
+type retryAfterer interface{ RetryAfter() time.Duration }
+
+// setRetryAfter surfaces a typed error's backoff hint as the standard
+// Retry-After header, so clients (and internal/server/client) can
+// distinguish "back off and retry" from hard failures.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var ra retryAfterer
+	if !errors.As(err, &ra) {
+		return
+	}
+	secs := int((ra.RetryAfter() + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -181,12 +241,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, admission.ErrQueueFull):
+		// Pure backpressure: the queue will drain at the pipeline's pace.
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "admission queue full")
 		return
 	case errors.Is(err, admission.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case err != nil:
+		setRetryAfter(w, err)
 		writeErr(w, errStatus(err, http.StatusInternalServerError), "%v", err)
 		return
 	}
@@ -323,6 +386,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// surface it here, since admission dispatch is asynchronous and
 		// the submit response has long been sent.
 		out.Error = res.Err.Error()
+		setRetryAfter(w, res.Err)
 		writeJSON(w, errStatus(res.Err, http.StatusOK), out)
 		return
 	}
@@ -369,6 +433,9 @@ func wireStats(ps core.Stats) PipelineStats {
 		TuplesEmitted:  ps.TuplesEmitted,
 		PagesRead:      ps.PagesRead,
 		ScanCycles:     ps.ScanCycles,
+		ScanRetries:    ps.ScanRetries,
+		State:          string(ps.State),
+		FailureCause:   ps.FailureCause,
 		FilterOrder:    ps.FilterOrder,
 		DimAdmits:      ps.DimAdmits,
 		DimAdmitMicros: ps.DimAdmitNanos / 1000,
@@ -433,6 +500,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			PerClient:      make(map[string]ClientStats, len(as.PerClient)),
 		},
 		Queries: make(map[string]int),
+	}
+	if he, ok := s.exec.(healther); ok {
+		out.Degraded = he.Health().Degraded()
 	}
 	for _, st := range perShard {
 		out.Shards = append(out.Shards, wireStats(st))

@@ -120,8 +120,17 @@ type PipelineStats struct {
 	TuplesEmitted int64         `json:"tuples_emitted"`
 	PagesRead     int64         `json:"pages_read"`
 	ScanCycles    int64         `json:"scan_cycles"`
+	ScanRetries   int64         `json:"scan_retries,omitempty"`
 	FilterOrder   []string      `json:"filter_order"`
 	Filters       []FilterStats `json:"filters"`
+
+	// State is the pipeline's serving state ("healthy" or "failed");
+	// FailureCause carries the terminal failure for a failed entry. On
+	// the merged entry of a sharded group, State is "failed" only when
+	// every shard is down — partial loss shows on the per-shard entries
+	// and the top-level Degraded flag.
+	State        string `json:"state,omitempty"`
+	FailureCause string `json:"failure_cause,omitempty"`
 
 	// Dimension-plane figures: admission runs once per logical query on
 	// the shared plane (no ×N growth with -shards), and the plane's
@@ -142,10 +151,13 @@ type PipelineStats struct {
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	UptimeMillis int64          `json:"uptime_ms"`
-	Draining     bool           `json:"draining"`
-	Pipeline     PipelineStats  `json:"pipeline"`
-	Admission    AdmissionStats `json:"admission"`
+	UptimeMillis int64 `json:"uptime_ms"`
+	Draining     bool  `json:"draining"`
+	// Degraded reports that the executor lost shards but keeps serving
+	// on the survivors; the per-shard entries carry which and why.
+	Degraded  bool           `json:"degraded,omitempty"`
+	Pipeline  PipelineStats  `json:"pipeline"`
+	Admission AdmissionStats `json:"admission"`
 	// Shards breaks Pipeline down per shard when the executor is a
 	// sharded group (cjoind -shards > 1); absent on a single pipeline.
 	Shards []PipelineStats `json:"shards,omitempty"`
@@ -156,4 +168,23 @@ type StatsResponse struct {
 // ErrorResponse is the JSON error envelope for non-2xx statuses.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+//
+//	state "ok"       — 200, every shard serving
+//	state "degraded" — 200, shards quarantined, survivors serving
+//	state "draining" — 200, graceful shutdown in progress
+//	state "failed"   — 503, no serving capacity left
+type HealthResponse struct {
+	State string `json:"state"`
+	// Shards is the per-shard breakdown for sharded executors.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one shard's serving state within HealthResponse.
+type ShardHealth struct {
+	Shard int    `json:"shard"`
+	State string `json:"state"` // healthy|failed
+	Cause string `json:"cause,omitempty"`
 }

@@ -53,6 +53,7 @@ import (
 	"cjoin/internal/catalog"
 	"cjoin/internal/core"
 	"cjoin/internal/dimplane"
+	"cjoin/internal/fault"
 	"cjoin/internal/query"
 )
 
@@ -90,8 +91,24 @@ type Config struct {
 	// shards (minimum 1 per shard); FactSource, if set, is the base
 	// source the pages of which are strided across shards (unpartitioned
 	// stars only). PartSubset must be nil: the group computes the
-	// partition deal itself.
+	// partition deal itself. Fault must be nil: per-shard injectors are
+	// derived from the group-level Fault spec below.
 	Core core.Config
+	// Fault, when set, arms deterministic fault injection: each shard
+	// pipeline gets Fault.ForShard(i), and admission faults (plane
+	// level, since admission runs once per logical query) are armed when
+	// the spec is not targeted at a single shard. Nil means every hook
+	// compiles down to a no-op.
+	Fault *fault.Spec
+	// StallTimeout, when > 0, arms the supervisor's liveness check: a
+	// shard whose page counter does not advance for this long while
+	// queries are resident is declared failed (StallError) and
+	// quarantined. 0 disables stall detection; pipeline failures are
+	// still supervised.
+	StallTimeout time.Duration
+	// Logf, when set, receives supervision events (quarantines) and is
+	// passed through to the shard pipelines for failure logging.
+	Logf func(format string, args ...any)
 }
 
 // DealPartitions assigns partitions to shards balanced by page count —
@@ -155,6 +172,23 @@ type Group struct {
 	mu      sync.Mutex
 	started bool
 	stopped bool
+
+	// supLock is the supervision lock. Submissions hold the read side
+	// across the whole admit + activation fan-out span; quarantine takes
+	// the write side to flip a shard out of the serving set and detach
+	// its prober. That exclusion is what keeps the plane's
+	// retires-expected count equal to the activation width of every
+	// in-flight submission.
+	supLock sync.RWMutex
+	// failed[i] is non-nil once shard i has been quarantined (the
+	// pipeline failure cause); guarded by supLock.
+	failed  []error
+	nFailed int
+
+	superStop chan struct{}
+	supWg     sync.WaitGroup
+	stall     time.Duration
+	logf      func(format string, args ...any)
 }
 
 var _ core.Executor = (*Group)(nil)
@@ -187,6 +221,12 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		// would be silently replicated to every shard.
 		return nil, fmt.Errorf("shard: Config.Core.PartSubset must be nil; the group deals partitions to shards itself")
 	}
+	if cfg.Core.Fault != nil {
+		// One injector shared across shards would interleave its
+		// deterministic schedule nondeterministically; the group derives
+		// an independent per-shard injector from the spec instead.
+		return nil, fmt.Errorf("shard: Config.Core.Fault must be nil; set Config.Fault and the group derives per-shard injectors")
+	}
 	workers := cfg.Core.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU() / 2
@@ -202,16 +242,31 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 	// One dimension plane for the whole group, sized from the same
 	// effective configuration every shard pipeline will normalize to.
 	norm := cfg.Core.Normalized()
-	plane := dimplane.New(star, n, dimplane.Config{
+	plcfg := dimplane.Config{
 		MaxConcurrent: norm.MaxConcurrent,
 		LegacyMap:     norm.LegacyMapFilter,
-	})
-	g := &Group{star: star, plane: plane, subsets: subsets}
+	}
+	// Admission runs once per logical query on the group plane, so admit
+	// faults arm there — but only for specs not targeted at one shard.
+	if planeInj := cfg.Fault.ForShard(-1); planeInj != nil {
+		plcfg.AdmitFault = planeInj.AdmitErr
+	}
+	plane := dimplane.New(star, n, plcfg)
+	g := &Group{star: star, plane: plane, subsets: subsets,
+		failed:    make([]error, n),
+		superStop: make(chan struct{}),
+		stall:     cfg.StallTimeout,
+		logf:      cfg.Logf,
+	}
 	for i := 0; i < n; i++ {
 		cc := cfg.Core
 		cc.MaxConcurrent = norm.MaxConcurrent
 		cc.Workers = perShard
 		cc.Plane = plane
+		cc.Fault = cfg.Fault.ForShard(i)
+		if cc.Logf == nil {
+			cc.Logf = cfg.Logf
+		}
 		if n > 1 {
 			if subsets != nil {
 				cc.PartSubset = subsets[i]
@@ -261,6 +316,7 @@ func (g *Group) Start() {
 	for _, p := range g.pipes {
 		p.Start()
 	}
+	g.supervise()
 	g.started = true
 }
 
@@ -274,6 +330,10 @@ func (g *Group) Stop() {
 	}
 	g.stopped = true
 	g.mu.Unlock()
+	// Retire the supervisor first so a clean shutdown is never mistaken
+	// for a failure cascade.
+	close(g.superStop)
+	g.supWg.Wait()
 	var wg sync.WaitGroup
 	for _, p := range g.pipes {
 		wg.Add(1)
@@ -321,14 +381,44 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 	}
 	start := time.Now()
 
+	// The read side of the supervision lock is held across the whole
+	// admit + fan-out span: quarantine (which detaches a prober and so
+	// changes the number of retires a slot expects) cannot land in the
+	// middle, so the activation width below always matches what Admit
+	// charged the slot with.
+	g.supLock.RLock()
+	if g.nFailed == len(g.pipes) {
+		dead := g.firstFailedLocked()
+		cause := g.failed[dead]
+		g.supLock.RUnlock()
+		return nil, &ShardFailedError{Shard: -1, Cause: cause}
+	}
+
 	// Admit once: allocate the query slot and load the dimension
 	// predicate selections into the shared stores.
 	slot, err := g.plane.Admit(ctx, q)
 	if err != nil {
+		g.supLock.RUnlock()
 		if errors.Is(err, dimplane.ErrSlotsExhausted) {
 			return nil, core.ErrTooManyQueries
 		}
 		return nil, err
+	}
+
+	// Degraded mode: accept only queries the survivors can answer
+	// exactly. Infeasible ones abort the admission they just made and
+	// fail fast with the typed, retryable shard error.
+	if ok, dead := g.feasibleLocked(q, slot); !ok {
+		cause := g.failed[dead]
+		g.plane.Abort(slot)
+		g.supLock.RUnlock()
+		return nil, &ShardFailedError{Shard: dead, Cause: cause}
+	}
+	healthy := make([]int, 0, len(g.pipes))
+	for i := range g.pipes {
+		if g.failed[i] == nil {
+			healthy = append(healthy, i)
+		}
 	}
 
 	// Shards aggregate partials: ORDER BY and LIMIT must not truncate a
@@ -339,37 +429,48 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 	pq.OrderBy = nil
 	pq.Limit = -1
 
-	subs := make([]core.Handle, len(g.pipes))
-	errs := make([]error, len(g.pipes))
+	subs := make([]core.Handle, len(healthy))
+	errs := make([]error, len(healthy))
 	var wg sync.WaitGroup
-	for i := range g.pipes {
+	for j, i := range healthy {
 		wg.Add(1)
-		go func(i int) {
+		go func(j, i int) {
 			defer wg.Done()
-			subs[i], errs[i] = g.pipes[i].Activate(ctx, &pq, slot)
-		}(i)
+			subs[j], errs[j] = g.pipes[i].Activate(ctx, &pq, slot)
+		}(j, i)
 	}
 	wg.Wait()
-	if firstErr := firstError(errs); firstErr != nil {
+	g.supLock.RUnlock()
+	if fi := firstErrorIdx(errs); fi >= 0 {
 		// Partial activation: rolling back is one-plane bookkeeping.
 		// Activated shards retire their hold through the normal cancel
 		// lifecycle; shards that failed never will, so compensate with
 		// one Retire each — except ErrPipelineStopped, where the
-		// shutdown sweep owns the query and the slot is abandoned with
-		// the stopping plane (see Pipeline.Activate's contract).
-		for i, sh := range subs {
+		// shutdown sweep owns the query and released the hold already
+		// (see Pipeline.Activate's contract).
+		for j, sh := range subs {
 			if sh != nil {
 				sh.Cancel()
-			} else if !errors.Is(errs[i], core.ErrPipelineStopped) {
+			} else if !errors.Is(errs[j], core.ErrPipelineStopped) {
 				g.plane.Retire(slot)
 			}
 		}
-		return nil, firstErr
+		err := errs[fi]
+		if errors.Is(err, core.ErrPipelineStopped) {
+			// A shard that failed mid-activation reports "stopped"; the
+			// serving tier re-types it with the real cause.
+			if f := g.pipes[healthy[fi]].FailureCause(); f != nil {
+				err = f
+			}
+		}
+		return nil, typeShardErr(healthy[fi], err)
 	}
 
 	h := &groupHandle{
+		g:          g,
 		bound:      q,
 		subs:       subs,
+		shards:     healthy,
 		submission: time.Since(start),
 		resultCh:   make(chan core.QueryResult, 1),
 		done:       make(chan struct{}),
@@ -385,14 +486,15 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 	return h, nil
 }
 
-// firstError returns the first non-nil error in errs.
-func firstError(errs []error) error {
-	for _, err := range errs {
+// firstErrorIdx returns the index of the first non-nil error, -1 if
+// none.
+func firstErrorIdx(errs []error) int {
+	for i, err := range errs {
 		if err != nil {
-			return err
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // Stats returns group-wide counters: scan and filter activity summed
@@ -409,12 +511,17 @@ func (g *Group) Stats() core.Stats {
 // — the consistency /stats promises its consumers.
 func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
 	per := g.ShardStats()
-	var out core.Stats
+	out := core.Stats{State: core.ShardHealthy}
+	down := 0
 	for i, s := range per {
 		out.TuplesScanned += s.TuplesScanned
 		out.TuplesEmitted += s.TuplesEmitted
 		out.PagesRead += s.PagesRead
 		out.ScanCycles += s.ScanCycles
+		out.ScanRetries += s.ScanRetries
+		if s.State == core.ShardFailed {
+			down++
+		}
 		if i == 0 {
 			out.FilterOrder = s.FilterOrder
 			out.Filters = append([]core.FilterStats(nil), s.Filters...)
@@ -431,6 +538,12 @@ func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
 			out.Filters[j].Probes += s.Filters[j].Probes
 			out.Filters[j].Drops += s.Filters[j].Drops
 		}
+	}
+	if down == len(per) {
+		// The merged row mirrors Health: all shards down is a failed
+		// group; anything less keeps serving (degraded state is the
+		// per-shard breakdown's story).
+		out.State = core.ShardFailed
 	}
 	ps := g.plane.Stats()
 	out.DimAdmits = ps.Admits
@@ -458,8 +571,13 @@ func (g *Group) ShardStats() []core.Stats {
 // per-shard partial aggregates, merges them, and applies the original
 // query's ORDER BY / LIMIT once.
 type groupHandle struct {
-	bound      *query.Bound
-	subs       []core.Handle
+	g     *Group
+	bound *query.Bound
+	subs  []core.Handle
+	// shards holds the global shard index behind each sub handle (a
+	// degraded-mode submission skips quarantined shards, so sub j is not
+	// necessarily shard j).
+	shards     []int
 	submission time.Duration
 
 	resultCh  chan core.QueryResult
@@ -485,7 +603,9 @@ func (h *groupHandle) gather() {
 	for i, sh := range h.subs {
 		res := sh.Wait()
 		if res.Err != nil && firstErr == nil {
-			firstErr = res.Err
+			// A shard lost to failure surfaces as the serving tier's
+			// typed, retryable error; cancel and clean stop pass through.
+			firstErr = typeShardErr(h.shards[i], res.Err)
 		}
 		parts[i] = res.Rows
 	}
