@@ -6,15 +6,16 @@ GO        ?= go
 BENCH_N   ?= 1
 BENCHTIME ?= 1s
 
-.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke chaos-smoke
+.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke chaos-smoke metrics-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + full tests,
 # the concurrency-heavy packages under the race detector, smoke runs
 # of the shared-dimension-plane and partition-dealt experiments over
-# 2-shard groups, and the shard-loss chaos smoke.
-ci: vet build test race-core dimadmit-smoke shardparts-smoke chaos-smoke
+# 2-shard groups, the shard-loss chaos smoke, and the telemetry-plane
+# metrics smoke.
+ci: vet build test race-core dimadmit-smoke shardparts-smoke chaos-smoke metrics-smoke
 
 # End-to-end smoke of the admit-once execution tier: the dimadmit
 # experiment exercises plane admission, fan-out activation, and merged
@@ -36,8 +37,14 @@ shardparts-smoke:
 chaos-smoke:
 	./scripts/chaos-smoke.sh
 
+# End-to-end telemetry plane: cjoind -shards 2 -pprof must serve every
+# stage family on /metrics, a complete per-query trace timeline, and the
+# pprof index (scripts/metrics-smoke.sh).
+metrics-smoke:
+	./scripts/metrics-smoke.sh
+
 race-core:
-	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/shard
+	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/shard ./internal/obs
 
 build:
 	$(GO) build ./...

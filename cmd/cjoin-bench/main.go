@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, ablations, figure4..figure8, table1..table3, "+
-			"overload, shardscale, dimadmit, ablation-{probeskip,batchsize,maxconc,filterorder,compression}")
+			"overload, shardscale, dimadmit, obsoverhead, ablation-{probeskip,batchsize,maxconc,filterorder,compression}")
 		sf      = flag.Int("sf", 1, "SSB scale factor")
 		rows    = flag.Int("rows", 5000, "fact rows per scale-factor unit")
 		sel     = flag.Float64("s", 0.01, "predicate selectivity")
@@ -85,6 +85,7 @@ func main() {
 		{"overload", func() (harness.Figure, error) { return harness.RunOverloadFigure(cfg, ns) }},
 		{"shardscale", func() (harness.Figure, error) { return harness.RunShardScale(cfg, shardNs, *n) }},
 		{"dimadmit", func() (harness.Figure, error) { return harness.RunDimAdmit(cfg, shardNs, *n) }},
+		{"obsoverhead", func() (harness.Figure, error) { return harness.RunObsOverhead(cfg, shardNs, *n) }},
 	}
 	ablations := []runner{
 		{"probeskip", func() (harness.Figure, error) { return harness.RunAblationProbeSkip(cfg, *n) }},
@@ -105,7 +106,7 @@ func main() {
 		case *exp == r.id:
 		// "all" reproduces the paper's evaluation; the serving-tier and
 		// sharding experiments run only when asked for by name.
-		case *exp == "all" && !strings.HasPrefix(r.id, "ablation-") && r.id != "overload" && r.id != "shardscale" && r.id != "dimadmit":
+		case *exp == "all" && !strings.HasPrefix(r.id, "ablation-") && r.id != "overload" && r.id != "shardscale" && r.id != "dimadmit" && r.id != "obsoverhead":
 		case *exp == "ablations" && strings.HasPrefix(r.id, "ablation-"):
 		default:
 			continue

@@ -14,6 +14,8 @@
 //	curl -s localhost:8077/query/q-000001/result
 //	curl -s -X DELETE localhost:8077/query/q-000001
 //	curl -s localhost:8077/stats
+//	curl -s localhost:8077/metrics
+//	curl -s localhost:8077/query/q-000001/trace
 //
 // SIGINT/SIGTERM triggers a graceful drain: new submissions get 503,
 // queued and running queries finish (up to -drain-timeout), the pipeline
@@ -31,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +43,7 @@ import (
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 	"cjoin/internal/server"
 	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
@@ -63,6 +67,7 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7;shard=1;scan-err=0.02;scan-fail=40' (see internal/fault)")
 		stallTO  = flag.Duration("stall-timeout", 0, "declare a shard dead after this long without scan progress (0 = off; sharded only)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ and Go runtime gauges on /metrics")
 	)
 	flag.Parse()
 
@@ -99,6 +104,15 @@ func main() {
 	log.Printf("SSB sf=%d: %d fact rows, 4 dimensions, %s, generated in %v",
 		*sf, factRows, layout, time.Since(start).Round(time.Millisecond))
 
+	// The telemetry plane is always on for the daemon: one registry
+	// shared by the executor (per-stage counters, labeled per shard), the
+	// admission queue, the fault injectors, and — behind -pprof — the Go
+	// runtime gauges. /metrics serves it.
+	metrics := obs.NewRegistry()
+	if *pprofOn {
+		obs.RegisterRuntimeMetrics(metrics)
+	}
+
 	coreCfg := core.Config{
 		MaxConcurrent:    *maxConc,
 		Workers:          *workers,
@@ -107,6 +121,7 @@ func main() {
 		Logf:             log.Printf,
 	}
 	if chaosSpec != nil {
+		chaosSpec.Obs = metrics
 		log.Printf("CHAOS ARMED: %s", chaosSpec)
 	}
 	var exec core.Executor
@@ -117,6 +132,7 @@ func main() {
 			Fault:        chaosSpec,
 			StallTimeout: *stallTO,
 			Logf:         log.Printf,
+			Obs:          metrics,
 		})
 		if err != nil {
 			log.Fatalf("shard group: %v", err)
@@ -132,6 +148,7 @@ func main() {
 	} else {
 		// Single pipeline: derive the (sole) shard's injector directly.
 		coreCfg.Fault = chaosSpec.ForShard(0)
+		coreCfg.Obs = metrics
 		pipe, err := core.NewPipeline(ds.Star, coreCfg)
 		if err != nil {
 			log.Fatalf("pipeline: %v", err)
@@ -143,8 +160,24 @@ func main() {
 
 	srv := server.New(ds.Star, ds.Txn, exec, server.Config{
 		Admission: admission.Config{MaxQueue: *queueLen, MaxWait: *maxWait},
+		Metrics:   metrics,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// pprof shares the listener but not the API mux: an explicit
+		// wrapper keeps the profiling surface behind the flag instead of
+		// the DefaultServeMux side-effect import.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled on %s/debug/pprof/", *addr)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() {

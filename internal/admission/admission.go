@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"cjoin/internal/core"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 )
 
@@ -77,6 +78,10 @@ type Config struct {
 	// still waiting after MaxWait fails with ErrDeadlineExceeded.
 	// Zero means wait indefinitely.
 	MaxWait time.Duration
+	// Obs, when non-nil, registers the queue's metric families
+	// (cjoin_admission_*) with the telemetry plane; nil disables
+	// instrumentation.
+	Obs *obs.Registry
 }
 
 // State is a ticket's lifecycle position.
@@ -181,6 +186,47 @@ type Queue struct {
 
 	stats     coreStats
 	perClient map[string]*ClientStats
+
+	om queueMetrics
+}
+
+// queueMetrics is the queue's slice of the telemetry plane. Handles are
+// nil (and every call a no-op) when Config.Obs is nil, so the hot path
+// pays one nil check per event.
+type queueMetrics struct {
+	queueWait *obs.Histogram
+
+	submitted, admitted, completed *obs.Counter
+	failed, canceled               *obs.Counter
+	expired, rejected              *obs.Counter
+}
+
+func newQueueMetrics(r *obs.Registry, q *Queue) queueMetrics {
+	r.GaugeFunc("cjoin_admission_queue_depth",
+		"Queries currently waiting for a pipeline slot.",
+		func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(len(q.fifo))
+		})
+	r.GaugeFunc("cjoin_admission_running",
+		"Admitted queries whose slots have not been recycled yet.",
+		func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(q.running)
+		})
+	return queueMetrics{
+		queueWait: r.DurationHistogram("cjoin_admission_queue_wait_seconds",
+			"Queue wait of admitted queries, enqueue to pipeline submission."),
+		submitted: r.Counter("cjoin_admission_submitted_total", "Queries accepted into the admission queue."),
+		admitted:  r.Counter("cjoin_admission_admitted_total", "Queries dispatched to the pipeline."),
+		completed: r.Counter("cjoin_admission_completed_total", "Queries finished with results."),
+		failed:    r.Counter("cjoin_admission_failed_total", "Queries failed at submission or during execution."),
+		canceled:  r.Counter("cjoin_admission_canceled_total", "Queries abandoned via cancel."),
+		expired:   r.Counter("cjoin_admission_expired_total", "Queries whose queue-wait deadline fired before admission."),
+		rejected:  r.Counter("cjoin_admission_rejected_total", "Submissions refused because the waiting line was full."),
+	}
 }
 
 type coreStats struct {
@@ -244,6 +290,7 @@ func NewQueue(ex core.Executor, cfg Config) *Queue {
 	for i := 0; i < ex.MaxConcurrent(); i++ {
 		q.tokens <- struct{}{}
 	}
+	q.om = newQueueMetrics(cfg.Obs, q)
 	go q.dispatch()
 	return q
 }
@@ -281,6 +328,7 @@ func (q *Queue) SubmitOpts(b *query.Bound, opts Options) (*Ticket, error) {
 	if len(q.fifo) >= q.cfg.MaxQueue {
 		q.stats.rejected++
 		q.mu.Unlock()
+		q.om.rejected.Inc()
 		return nil, ErrQueueFull
 	}
 	q.fifo = append(q.fifo, t)
@@ -291,6 +339,8 @@ func (q *Queue) SubmitOpts(b *query.Bound, opts Options) (*Ticket, error) {
 	q.clientLocked(client).Submitted++
 	q.outstanding++
 	q.mu.Unlock()
+	q.om.submitted.Inc()
+	b.Trace.Mark(obs.StageEnqueued)
 
 	if maxWait > 0 {
 		t.mu.Lock()
@@ -378,6 +428,11 @@ func (q *Queue) dispatch() {
 		if t == nil {
 			return
 		}
+		// Marked before the executor submit: the pipeline can deliver the
+		// first page mid-registration, and the timeline must show admitted
+		// before first_page. Latest-wins so a slot-exhaustion requeue
+		// refreshes the mark on the attempt that sticks.
+		t.bound.Trace.MarkLatest(obs.StageAdmitted)
 		h, err := q.ex.Submit(t.bound)
 		if err != nil {
 			q.tokens <- struct{}{}
@@ -537,6 +592,8 @@ func (t *Ticket) run(h core.Handle) {
 	}
 
 	q := t.q
+	q.om.admitted.Inc()
+	q.om.queueWait.Observe(waited.Nanoseconds())
 	q.mu.Lock()
 	q.running++
 	q.stats.admitted++
@@ -571,6 +628,9 @@ func (t *Ticket) complete(res core.QueryResult) {
 	}
 	state := t.state
 	t.mu.Unlock()
+	if state == StateDone {
+		t.bound.Trace.Mark(obs.StageDelivered)
+	}
 	t.q.settle(t, state)
 	close(t.done)
 }
@@ -686,15 +746,19 @@ func (q *Queue) settle(t *Ticket, st State) {
 	switch st {
 	case StateDone:
 		q.stats.completed++
+		q.om.completed.Inc()
 		q.clientLocked(t.client).Finished++
 	case StateFailed:
 		q.stats.failed++
+		q.om.failed.Inc()
 		q.clientLocked(t.client).Finished++
 	case StateCanceled:
 		q.stats.canceled++
+		q.om.canceled.Inc()
 		q.clientLocked(t.client).Finished++
 	case StateExpired:
 		q.stats.expired++
+		q.om.expired.Inc()
 		q.clientLocked(t.client).Finished++
 	}
 }

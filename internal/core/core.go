@@ -31,6 +31,7 @@ import (
 
 	"cjoin/internal/dimplane"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 )
 
 // Layout selects how Filters are boxed into Stages (§4).
@@ -130,6 +131,14 @@ type Config struct {
 	// Logf, when non-nil, receives pipeline lifecycle warnings (failure
 	// transitions above all). The pipeline never logs on its own.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, registers the pipeline's metric families
+	// (cjoin_scan_*, cjoin_filter_*, cjoin_pipeline_*) with the
+	// telemetry plane, labeled by ObsShard. Nil — the default — disables
+	// instrumentation; the hot path then pays one nil test per event.
+	Obs *obs.Registry
+	// ObsShard is the shard label value for this pipeline's metrics;
+	// internal/shard sets it so N pipelines share each family.
+	ObsShard int
 }
 
 // Normalized fills zero fields with the pipeline defaults. Exported so

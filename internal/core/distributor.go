@@ -6,6 +6,7 @@ import (
 	"cjoin/internal/agg"
 	"cjoin/internal/expr"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 )
 
@@ -99,6 +100,10 @@ func (d *distributor) control(c *control) {
 	case ctrlEnd:
 		rq := c.rq
 		d.queries[rq.slot] = nil
+		// The query's scan window just closed on this pipeline. Last
+		// shard wins: the logical query's cycle completes when its
+		// slowest shard does.
+		rq.q.Trace.MarkLatest(obs.StageCycleComplete)
 		if rq.sink != nil {
 			rq.deliver(nil, nil)
 			rq.sink.Finalize(nil)

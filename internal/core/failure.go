@@ -77,6 +77,7 @@ func (p *Pipeline) fail(goroutine string, cause error) {
 	if !p.failure.CompareAndSwap(nil, ferr) {
 		return // a failure is already terminal
 	}
+	p.om.failures.Inc()
 	close(p.failedCh)
 	if p.stopped.CompareAndSwap(false, true) {
 		close(p.stopCh)

@@ -13,6 +13,7 @@ import (
 	"cjoin/internal/catalog"
 	"cjoin/internal/dimplane"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 )
 
@@ -226,6 +227,55 @@ type Pipeline struct {
 	// live tracks submitted queries until cleanup so Stop can fail any
 	// query whose control tuples were dropped mid-shutdown.
 	live map[int]*runningQuery
+
+	// om is this pipeline's slice of the telemetry plane, labeled with
+	// cfg.ObsShard; nil handles (cfg.Obs == nil) no-op every call.
+	om pipeMetrics
+}
+
+// pipeMetrics holds the pipeline's pre-resolved metric handles. All
+// families carry a "shard" label so N shard pipelines share them.
+type pipeMetrics struct {
+	pagesRead   *obs.Counter
+	prunedPages *obs.Counter
+	tuplesIn    *obs.Counter
+	tuplesOut   *obs.Counter
+	cycles      *obs.Counter
+	cycleDur    *obs.Histogram
+	cyclePages  *obs.Histogram
+	retries     *obs.Counter
+	failures    *obs.Counter
+	filterBatch *obs.Histogram
+}
+
+func newPipeMetrics(r *obs.Registry, shard int) pipeMetrics {
+	if r == nil {
+		return pipeMetrics{}
+	}
+	sh := fmt.Sprintf("%d", shard)
+	return pipeMetrics{
+		pagesRead: r.CounterVec("cjoin_scan_pages_total",
+			"Fact pages read by the continuous scan.", "shard").With(sh),
+		prunedPages: r.CounterVec("cjoin_scan_pruned_pages_total",
+			"Fact pages pruned from queries' scans by §5 partition pruning, counted at admission.", "shard").With(sh),
+		tuplesIn: r.CounterVec("cjoin_scan_tuples_total",
+			"Fact tuples entering the preprocessor.", "shard").With(sh),
+		tuplesOut: r.CounterVec("cjoin_scan_tuples_emitted_total",
+			"Fact tuples surviving the fact predicates and entering the filter stages.", "shard").With(sh),
+		cycles: r.CounterVec("cjoin_scan_cycles_total",
+			"Completed cycles of the continuous scan.", "shard").With(sh),
+		cycleDur: r.DurationHistogramVec("cjoin_scan_cycle_seconds",
+			"Wall time of one full scan cycle.", "shard").With(sh),
+		cyclePages: r.HistogramVec("cjoin_scan_cycle_pages",
+			"Pages read during one scan cycle (after pruning).",
+			obs.ExpBuckets(1, 4, 12), 1, "shard").With(sh),
+		retries: r.CounterVec("cjoin_scan_retries_total",
+			"Transient scan errors absorbed by page-boundary retry.", "shard").With(sh),
+		failures: r.CounterVec("cjoin_pipeline_failures_total",
+			"Terminal pipeline failures (escalated scan errors, panics, stalls).", "shard").With(sh),
+		filterBatch: r.DurationHistogramVec("cjoin_filter_batch_seconds",
+			"Wall time probing one batch through the active filter sequence (1-in-8 sampled).", "shard").With(sh),
+	}
 }
 
 // NewPipeline builds a CJOIN pipeline over the star schema. Call Start
@@ -241,6 +291,7 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 		pcfg := dimplane.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			LegacyMap:     cfg.LegacyMapFilter,
+			Obs:           cfg.Obs,
 		}
 		if cfg.Fault != nil {
 			pcfg.AdmitFault = cfg.Fault.AdmitErr
@@ -266,6 +317,7 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 		logf:      cfg.Logf,
 		pmActive:  bitvec.New(cfg.MaxConcurrent),
 		live:      make(map[int]*runningQuery),
+		om:        newPipeMetrics(cfg.Obs, cfg.ObsShard),
 	}
 	for i := range star.Dims {
 		ds := newDimState(star, i, plane.Store(i))
@@ -702,6 +754,13 @@ func (p *Pipeline) Quiesce() {
 
 // Stats is a point-in-time snapshot of pipeline counters.
 type Stats struct {
+	// CollectedAt is the instant the snapshot was taken. The value
+	// carries Go's monotonic clock reading, so two snapshots subtract to
+	// a drift-free interval — scrapers divide counter deltas by it to
+	// get correct rates (a snapshot re-taken per request has no meaning
+	// as a rate without it).
+	CollectedAt time.Time
+
 	TuplesScanned int64
 	TuplesEmitted int64
 	PagesRead     int64
@@ -735,7 +794,7 @@ func (p *Pipeline) Stats() Stats {
 	p.pmMu.Lock()
 	pp := p.pp
 	p.pmMu.Unlock()
-	s := Stats{State: ShardHealthy}
+	s := Stats{CollectedAt: time.Now(), State: ShardHealthy}
 	if f := p.failure.Load(); f != nil {
 		s.State = ShardFailed
 		s.FailureCause = f.Error()

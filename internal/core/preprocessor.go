@@ -7,6 +7,7 @@ import (
 	"cjoin/internal/bitvec"
 	"cjoin/internal/expr"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 	"cjoin/internal/txn"
 )
 
@@ -54,6 +55,13 @@ type preprocessor struct {
 
 	scratch expr.Joined // reused for fact-predicate evaluation
 
+	// Cycle timing for the telemetry plane. cycleStart zeroes whenever
+	// the scan parks idle, so the cycle-duration histogram only records
+	// cycles the scan ran end to end; partial post-idle cycles are
+	// discarded rather than reported minutes long.
+	cycleStart time.Time
+	cyclePages int64
+
 	tuplesIn    atomic.Int64
 	tuplesOut   atomic.Int64
 	pagesRead   atomic.Int64
@@ -95,6 +103,7 @@ func (pp *preprocessor) run() {
 		if len(pp.active) == 0 {
 			// Idle: the always-on pipeline parks instead of spinning
 			// the scan.
+			pp.cycleStart = time.Time{}
 			select {
 			case cmd := <-pp.cmds:
 				pp.register(cmd)
@@ -138,8 +147,17 @@ func (pp *preprocessor) run() {
 			continue
 		}
 		pp.pagesRead.Add(1)
+		pp.p.om.pagesRead.Inc()
+		pp.cyclePages++
 		if pos == 0 && part == 0 {
 			pp.scanCycles.Add(1)
+			pp.p.om.cycles.Inc()
+			if !pp.cycleStart.IsZero() {
+				pp.p.om.cycleDur.ObserveSince(pp.cycleStart)
+				pp.p.om.cyclePages.Observe(pp.cyclePages - 1)
+			}
+			pp.cycleStart = time.Now()
+			pp.cyclePages = 1
 		}
 
 		// Wrap-around completion check must run before the page at the
@@ -171,6 +189,7 @@ func (pp *preprocessor) nextPageRetry() (vals []int64, n int, pos int64, part in
 			return
 		}
 		pp.scanRetries.Add(1)
+		pp.p.om.retries.Inc()
 		t := time.NewTimer(backoff)
 		select {
 		case <-t.C:
@@ -212,15 +231,18 @@ func (pp *preprocessor) register(cmd ppCmd) {
 		// shard's scan may hold only a dealt subset, so the query's
 		// star-global needParts is consulted per local partition. Pages
 		// the query needs on OTHER shards are theirs to count.
-		var pages int64
+		var pages, pruned int64
 		for li := range pp.scan.parts {
 			if rq.needsPart(pp.scan.globalOf(li)) {
 				pp.partRefs[li]++
 				pages += int64(pp.scan.pagesInPart(li))
+			} else {
+				pruned += int64(pp.scan.pagesInPart(li))
 			}
 		}
 		rq.pagesLeft = pages
 		rq.pagesTotal.Store(pages)
+		pp.p.om.prunedPages.Add(pruned)
 	} else {
 		rq.pagesLeft = -1
 		pp.partRefs[0]++
@@ -308,14 +330,18 @@ func (pp *preprocessor) afterPage(part int) {
 	for i := 0; i < len(pp.active); i++ {
 		rq := pp.active[i]
 		if rq.pagesLeft < 0 {
-			rq.pagesDone.Add(1)
+			if rq.pagesDone.Add(1) == 1 {
+				rq.q.Trace.Mark(obs.StageFirstPage)
+			}
 			continue
 		}
 		if !rq.needsPart(pp.scan.globalOf(part)) {
 			continue
 		}
 		rq.pagesLeft--
-		rq.pagesDone.Add(1)
+		if rq.pagesDone.Add(1) == 1 {
+			rq.q.Trace.Mark(obs.StageFirstPage)
+		}
 		if rq.pagesLeft == 0 {
 			pp.finish(rq)
 			i--
@@ -336,11 +362,13 @@ func (pp *preprocessor) emitPage(vals []int64, n int) bool {
 		return false
 	}
 	pp.tuplesIn.Add(int64(n))
+	pp.p.om.tuplesIn.Add(int64(n))
 	for r := 0; r < n; r++ {
 		row := vals[r*ncols : (r+1)*ncols]
 		if b.full() {
 			b.seq = pp.nextSeq()
 			pp.tuplesOut.Add(int64(len(b.rows)))
+			pp.p.om.tuplesOut.Add(int64(len(b.rows)))
 			if !pp.emit(b) {
 				return false
 			}
@@ -380,5 +408,6 @@ func (pp *preprocessor) emitPage(vals []int64, n int) bool {
 	}
 	b.seq = pp.nextSeq()
 	pp.tuplesOut.Add(int64(len(b.rows)))
+	pp.p.om.tuplesOut.Add(int64(len(b.rows)))
 	return pp.emit(b)
 }

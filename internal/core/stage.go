@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // startStages wires the Filter sequence between the Preprocessor output
 // and the Distributor input according to the configured layout (§4) and
@@ -62,17 +65,31 @@ func (p *Pipeline) startStage(in chan *batch, dims []int, workers int) chan *bat
 			// A worker panic fails the pipeline, not the process; the
 			// siblings unwind through the stop signal.
 			defer p.guard("stage")
+			// Batch timings are sampled 1-in-8 per worker: two clock
+			// reads per ~µs-scale batch would be the single largest
+			// telemetry cost on the hot loop, and the sampled mean is
+			// the same number. The disabled path pays one nil test.
+			var sampleTick uint
 			for b := range in {
 				if b.ctrl == nil {
 					order := dims
 					if order == nil {
 						order = *p.filterOrder.Load()
 					}
+					timed := p.om.filterBatch != nil && sampleTick&7 == 0
+					sampleTick++
+					var probeStart time.Time
+					if timed {
+						probeStart = time.Now()
+					}
 					for _, d := range order {
 						if len(b.rows) == 0 {
 							break
 						}
 						p.dimStates[d].filterBatch(b)
+					}
+					if timed {
+						p.om.filterBatch.ObserveSince(probeStart)
 					}
 					if len(b.rows) == 0 {
 						// Fully filtered: recycle here, but the batch

@@ -35,6 +35,7 @@ import (
 	"cjoin/internal/bitvec"
 	"cjoin/internal/catalog"
 	"cjoin/internal/expr"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 	"cjoin/internal/storage"
 )
@@ -56,6 +57,10 @@ type Config struct {
 	// rolled back). Fault-injection hook (internal/fault); nil in
 	// production.
 	AdmitFault func() error
+	// Obs, when non-nil, registers the plane's metric families
+	// (cjoin_dimplane_*) with the telemetry plane; nil disables
+	// instrumentation.
+	Obs *obs.Registry
 }
 
 // Plane owns the dimension state shared by every pipeline of one logical
@@ -79,6 +84,36 @@ type Plane struct {
 	admits     atomic.Int64
 	admitNanos atomic.Int64
 	peakBytes  atomic.Int64
+
+	om planeMetrics
+}
+
+// planeMetrics is the plane's slice of the telemetry plane; nil handles
+// (Config.Obs == nil) no-op every call.
+type planeMetrics struct {
+	admit        *obs.Histogram
+	predScan     *obs.Histogram
+	admits       *obs.Counter
+	retires      *obs.Counter
+	finalRetires *obs.Counter
+}
+
+func newPlaneMetrics(r *obs.Registry, pl *Plane) planeMetrics {
+	r.GaugeFunc("cjoin_dimplane_slots_in_use",
+		"Currently admitted query slots (bit-vector bits held).",
+		func() float64 { return float64(pl.ids.InUse()) })
+	r.GaugeFunc("cjoin_dimplane_store_bytes",
+		"Resident bytes of all dimension stores' current versions.",
+		func() float64 { return float64(pl.MemBytes()) })
+	return planeMetrics{
+		admit: r.DurationHistogram("cjoin_dimplane_admit_seconds",
+			"Wall time of the dimension half of admission (Algorithm 1), once per logical query."),
+		predScan: r.DurationHistogram("cjoin_dimplane_predicate_scan_seconds",
+			"Wall time evaluating one dimension predicate against its heap."),
+		admits:       r.Counter("cjoin_dimplane_admits_total", "Successful admissions."),
+		retires:      r.Counter("cjoin_dimplane_retires_total", "Per-pipeline slot releases."),
+		finalRetires: r.Counter("cjoin_dimplane_final_retires_total", "Final retires that cleared bits, garbage-collected, and recycled the slot."),
+	}
 }
 
 // slotState is the plane's per-slot retirement ledger.
@@ -121,6 +156,7 @@ func New(star *catalog.Star, probers int, cfg Config) *Plane {
 	for i := range pl.slots {
 		pl.slots[i].refs = make([]bool, len(star.Dims))
 	}
+	pl.om = newPlaneMetrics(cfg.Obs, pl)
 	return pl
 }
 
@@ -204,7 +240,9 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 		err := ctx.Err()
 		if err == nil && q.DimRefs[i] {
 			var rows [][]int64
+			scanStart := time.Now()
 			rows, err = SelectRows(pl.star.Dims[i], q.DimPreds[i])
+			pl.om.predScan.ObserveSince(scanStart)
 			if err == nil {
 				st.AdmitRef(slot, pl.star.KeyCol[i], rows)
 			}
@@ -226,6 +264,8 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 	ss.remain.Store(pl.probers.Load())
 	pl.admits.Add(1)
 	pl.admitNanos.Add(time.Since(start).Nanoseconds())
+	pl.om.admits.Inc()
+	pl.om.admit.ObserveSince(start)
 	pl.notePeak()
 	return slot, nil
 }
@@ -242,6 +282,7 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 func (pl *Plane) Retire(slot int) (final bool) {
 	ss := &pl.slots[slot]
 	n := ss.remain.Add(-1)
+	pl.om.retires.Inc()
 	if n > 0 {
 		return false
 	}
@@ -252,6 +293,7 @@ func (pl *Plane) Retire(slot int) (final bool) {
 		st.Remove(slot, ss.refs[i])
 	}
 	pl.ids.Free(slot)
+	pl.om.finalRetires.Inc()
 	return true
 }
 

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cjoin/internal/obs"
 )
 
 // PageSource mirrors core.PageSource so sources can be wrapped without
@@ -71,6 +73,13 @@ type Spec struct {
 	// its PanicAfter-th visit (1-based). Empty site disables.
 	PanicSite  string
 	PanicAfter int64
+
+	// Obs, when non-nil, mirrors every fired fault into the telemetry
+	// plane as cjoin_fault_injected_total{site,shard}, so chaos tests
+	// can assert injections actually happened instead of inferring them
+	// from failures. Not part of Parse's grammar — callers set it after
+	// parsing.
+	Obs *obs.Registry
 }
 
 // Parse decodes a -chaos spec string: semicolon-separated key=value
@@ -191,11 +200,25 @@ func (s *Spec) ForShard(shard int) *Injector {
 	if s == nil || (s.Shard >= 0 && s.Shard != shard) {
 		return nil
 	}
-	return &Injector{
+	in := &Injector{
 		spec:  *s,
 		shard: shard,
 		rng:   rand.New(rand.NewSource(mix(s.Seed, int64(shard)))),
 	}
+	if s.Obs != nil {
+		fired := s.Obs.CounterVec("cjoin_fault_injected_total",
+			"Chaos faults actually fired, by injection site and shard.",
+			"site", "shard")
+		sh := strconv.Itoa(shard)
+		in.om = injectorMetrics{
+			transient: fired.With("scan-err", sh),
+			stalls:    fired.With("scan-stall", sh),
+			hardFails: fired.With("scan-fail", sh),
+			admitErrs: fired.With("admit-err", sh),
+			panics:    fired.With("panic", sh),
+		}
+	}
+	return in
 }
 
 // mix is splitmix64 over seed and shard, so neighboring shard indices
@@ -269,6 +292,14 @@ type Injector struct {
 	hardFails atomic.Int64
 	admitErrs atomic.Int64
 	panics    atomic.Int64
+
+	om injectorMetrics
+}
+
+// injectorMetrics mirrors the fired-fault atomics into the telemetry
+// plane; nil handles (Spec.Obs == nil) no-op.
+type injectorMetrics struct {
+	transient, stalls, hardFails, admitErrs, panics *obs.Counter
 }
 
 // Shard returns the shard index this injector was derived for.
@@ -328,6 +359,7 @@ func (in *Injector) AdmitErr() error {
 		return nil
 	}
 	in.admitErrs.Add(1)
+	in.om.admitErrs.Inc()
 	return &Error{Op: "admit", Page: -1, Shard: in.shard}
 }
 
@@ -340,6 +372,7 @@ func (in *Injector) PanicPoint(site string) {
 	}
 	if in.visits.Add(1) == in.spec.PanicAfter {
 		in.panics.Add(1)
+		in.om.panics.Inc()
 		panic(&Panic{Site: site, Shard: in.shard})
 	}
 }
@@ -363,10 +396,12 @@ func (fs *faultSource) ReadPage(page int, dst []int64, scratch []byte) (int, err
 	in := fs.in
 	if in.spec.ScanFailAt >= 0 && fs.reads.Add(1) > int64(in.spec.ScanFailAt) {
 		in.hardFails.Add(1)
+		in.om.hardFails.Inc()
 		return 0, &Error{Op: "read-page", Page: page, Shard: in.shard, Hard: true}
 	}
 	if in.spec.ScanStallProb > 0 && in.roll(in.spec.ScanStallProb) {
 		in.stalls.Add(1)
+		in.om.stalls.Inc()
 		t := time.NewTimer(in.spec.ScanStallDur)
 		select {
 		case <-t.C:
@@ -376,6 +411,7 @@ func (fs *faultSource) ReadPage(page int, dst []int64, scratch []byte) (int, err
 	}
 	if in.spec.ScanErrProb > 0 && in.roll(in.spec.ScanErrProb) {
 		in.transient.Add(1)
+		in.om.transient.Inc()
 		return 0, &Error{Op: "read-page", Page: page, Shard: in.shard}
 	}
 	return fs.src.ReadPage(page, dst, scratch)

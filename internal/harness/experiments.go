@@ -3,9 +3,12 @@ package harness
 import (
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"cjoin/internal/core"
 	"cjoin/internal/engine"
+	"cjoin/internal/obs"
 )
 
 // Figure is one reproduced figure or table: named series over a shared
@@ -434,6 +437,124 @@ func dealableShards(cfg Config, shards []int) []int {
 		}
 	}
 	return out
+}
+
+// snapSum sums every snapshot entry whose key starts with prefix — one
+// unlabeled series, or all the per-shard series of a labeled family.
+func snapSum(snap map[string]float64, prefix string) float64 {
+	var s float64
+	for k, v := range snap {
+		if strings.HasPrefix(k, prefix) {
+			s += v
+		}
+	}
+	return s
+}
+
+// histMean derives the mean observation of a (possibly shard-labeled)
+// histogram family from a registry snapshot, in the family's unit.
+func histMean(snap map[string]float64, name string) float64 {
+	cnt := snapSum(snap, name+"_count")
+	if cnt == 0 {
+		return 0
+	}
+	return snapSum(snap, name+"_sum") / cnt
+}
+
+// RunObsOverhead measures the telemetry plane's hot-path cost: the
+// RunShardScale workload run per shard count over identical datasets —
+// instrumentation compiled down to no-ops (nil registry) versus fully
+// enabled, best of a few repetitions each — reporting peak throughput
+// for both and the relative overhead. The enabled run's registry snapshot also yields the
+// per-stage breakdown (mean queue wait, plane admit, scan cycle, filter
+// batch) that the metrics exist to provide, so one experiment both
+// prices the telemetry and demonstrates it. Same in-memory-device
+// rationale as RunShardScale: the hot-path cost being measured is CPU.
+func RunObsOverhead(cfg Config, shards []int, n int) (Figure, error) {
+	if !cfg.Disk.Enabled() {
+		cfg.MemDisk = true
+	}
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		shards = []int{1, 4}
+	}
+	if n <= 0 {
+		n = 32
+	}
+	shards = dealableShards(cfg, shards)
+	fig := Figure{
+		ID:     "obsoverhead",
+		Title:  fmt.Sprintf("Telemetry overhead: %d-query closed loop, metrics off vs on", n),
+		XLabel: "shards",
+		YLabel: "throughput (queries/hour), stage means",
+	}
+	off := Series{Name: "q/hour (obs off)"}
+	on := Series{Name: "q/hour (obs on)"}
+	ovh := Series{Name: "overhead (%)"}
+	admit := Series{Name: "plane admit mean (µs)"}
+	cycle := Series{Name: "scan cycle mean (ms)"}
+	fbatch := Series{Name: "filter batch mean (µs)"}
+	// Interleaved median-of-reps: a single closed loop over a small star
+	// has more run-to-run variance (scheduler, page cache, allocator
+	// growth) than the effect being priced, so each variant runs several
+	// times with the off/on pairs alternated — machine-load drift hits
+	// both sides equally — and the medians are compared.
+	const reps = 5
+	run := func(ecfg Config) (float64, error) {
+		env, err := NewEnv(ecfg)
+		if err != nil {
+			return 0, err
+		}
+		m, _, err := env.runExecutor("CJOIN", n, core.Config{}, "")
+		if err != nil {
+			return 0, err
+		}
+		return m.Throughput, nil
+	}
+	median := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		if n := len(xs); n%2 == 1 {
+			return xs[n/2]
+		} else {
+			return (xs[n/2-1] + xs[n/2]) / 2
+		}
+	}
+	for _, ns := range shards {
+		ecfg := cfg
+		ecfg.Shards = ns
+		// Fresh registry per cell so stage means cover exactly this
+		// cell's instrumented runs.
+		reg := obs.NewRegistry()
+		var offs, ons []float64
+		for r := 0; r < reps; r++ {
+			ecfg.Obs = nil
+			t, err := run(ecfg)
+			if err != nil {
+				return fig, fmt.Errorf("shards=%d obs off: %w", ns, err)
+			}
+			offs = append(offs, t)
+			ecfg.Obs = reg
+			if t, err = run(ecfg); err != nil {
+				return fig, fmt.Errorf("shards=%d obs on: %w", ns, err)
+			}
+			ons = append(ons, t)
+		}
+		tOff, tOn := median(offs), median(ons)
+		snap := reg.Snapshot()
+		fig.X = append(fig.X, float64(ns))
+		off.Y = append(off.Y, tOff)
+		on.Y = append(on.Y, tOn)
+		var pct float64
+		if tOff > 0 {
+			pct = (tOff - tOn) / tOff * 100
+		}
+		ovh.Y = append(ovh.Y, pct)
+		admit.Y = append(admit.Y, histMean(snap, "cjoin_dimplane_admit_seconds")*1e6)
+		cycle.Y = append(cycle.Y, histMean(snap, "cjoin_scan_cycle_seconds")*1e3)
+		fbatch.Y = append(fbatch.Y, histMean(snap, "cjoin_filter_batch_seconds")*1e6)
+	}
+	fig.Series = []Series{off, on, ovh, admit, cycle, fbatch}
+	return fig, nil
 }
 
 // RunShardScale measures the sharded execution tier: the same closed-loop

@@ -21,6 +21,7 @@ import (
 	"cjoin/internal/disk"
 	"cjoin/internal/engine"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 	"cjoin/internal/shard"
 	"cjoin/internal/ssb"
@@ -72,6 +73,11 @@ type Config struct {
 	// every executor the harness builds — for measuring experiments
 	// under injected faults. Empty runs clean.
 	Chaos string
+	// Obs, when non-nil, threads the telemetry registry through every
+	// executor the harness builds, so an experiment can read per-stage
+	// breakdowns from registry snapshots. Nil runs with instrumentation
+	// compiled down to no-ops — the baseline for overhead measurement.
+	Obs *obs.Registry
 }
 
 // DefaultDisk is the scaled device model: 100 MB/s sequential bandwidth
@@ -291,14 +297,18 @@ func (e *Env) NewExecutor(coreCfg core.Config) (core.Executor, error) {
 		return nil, fmt.Errorf("harness: chaos spec: %v", err)
 	}
 	if e.Cfg.Shards > 1 {
-		g, err := shard.New(e.Dataset.Star, shard.Config{Shards: e.Cfg.Shards, Core: coreCfg, Fault: spec})
+		g, err := shard.New(e.Dataset.Star, shard.Config{Shards: e.Cfg.Shards, Core: coreCfg, Fault: spec, Obs: e.Cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
 		g.Start()
 		return g, nil
 	}
+	if spec != nil {
+		spec.Obs = e.Cfg.Obs
+	}
 	coreCfg.Fault = spec.ForShard(0)
+	coreCfg.Obs = e.Cfg.Obs
 	p, err := core.NewPipeline(e.Dataset.Star, coreCfg)
 	if err != nil {
 		return nil, err

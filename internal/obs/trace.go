@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage names for the query lifecycle timeline, in pipeline order. A
+// query's trace collects (stage, offset) marks as it moves through the
+// serving tier:
+//
+//	enqueued       — accepted into the admission queue
+//	admitted       — dimension plane admit finished, bit assigned
+//	first_page     — first fact page carrying the query's bit processed
+//	cycle_complete — the query's scan window closed (last shard wins)
+//	delivered      — results handed to the waiting client
+const (
+	StageEnqueued      = "enqueued"
+	StageAdmitted      = "admitted"
+	StageFirstPage     = "first_page"
+	StageCycleComplete = "cycle_complete"
+	StageDelivered     = "delivered"
+)
+
+// StageMark is one recorded lifecycle event: the stage name and its
+// monotonic offset from the trace's start.
+type StageMark struct {
+	Stage string
+	At    time.Duration
+}
+
+// Trace is one query's lifecycle timeline. It is carried on
+// query.Bound through admission, the dimension plane, and every shard
+// pipeline; concurrent marks from shard goroutines are safe. A nil
+// *Trace no-ops every method, so untraced paths (harness, in-process
+// embedding) pay one nil check.
+type Trace struct {
+	id      string
+	started time.Time
+
+	mu    sync.Mutex
+	marks []StageMark
+}
+
+// ID is the query id the trace was started under.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartedAt is the wall-clock instant the trace began (offsets are
+// measured against its monotonic reading).
+func (t *Trace) StartedAt() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.started
+}
+
+// Mark records stage at the current offset; first mark wins. Use for
+// stages where the earliest occurrence is the event (first_page on a
+// sharded group: the first shard to touch a page defines it).
+func (t *Trace) Mark(stage string) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.started)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.marks {
+		if t.marks[i].Stage == stage {
+			return
+		}
+	}
+	t.marks = append(t.marks, StageMark{Stage: stage, At: at})
+}
+
+// MarkLatest records stage at the current offset; the last mark wins.
+// Use for stages where the slowest occurrence is the event
+// (cycle_complete on a sharded group: the query isn't done until its
+// last shard is).
+func (t *Trace) MarkLatest(stage string) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.started)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.marks {
+		if t.marks[i].Stage == stage {
+			t.marks[i].At = at
+			return
+		}
+	}
+	t.marks = append(t.marks, StageMark{Stage: stage, At: at})
+}
+
+// Has reports whether stage has been marked.
+func (t *Trace) Has(stage string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.marks {
+		if t.marks[i].Stage == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// Stages returns a copy of the recorded marks sorted by offset.
+func (t *Trace) Stages() []StageMark {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]StageMark(nil), t.marks...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Tracer owns a bounded id → *Trace map with FIFO eviction, mirroring
+// the server's bounded query registry: old traces age out, the map
+// cannot grow without limit. A nil *Tracer disables tracing (Start and
+// Get return nil).
+type Tracer struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string]*Trace
+	order []string
+}
+
+// NewTracer builds a tracer retaining at most max traces (default 1024
+// when max <= 0).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Tracer{max: max, m: make(map[string]*Trace)}
+}
+
+// Start begins a trace for id, evicting the oldest trace past the
+// retention bound. Restarting an id replaces its trace.
+func (tr *Tracer) Start(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := &Trace{id: id, started: time.Now()}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.m[id]; !ok {
+		tr.order = append(tr.order, id)
+	}
+	tr.m[id] = t
+	for len(tr.order) > tr.max {
+		delete(tr.m, tr.order[0])
+		tr.order = tr.order[1:]
+	}
+	return t
+}
+
+// Get returns the trace for id, nil if unknown or evicted.
+func (tr *Tracer) Get(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.m[id]
+}
+
+// Drop forgets id's trace (a submission that was rejected before it
+// ever entered the queue leaves no timeline behind).
+func (tr *Tracer) Drop(id string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.m[id]; !ok {
+		return
+	}
+	delete(tr.m, id)
+	for i, v := range tr.order {
+		if v == id {
+			tr.order = append(tr.order[:i], tr.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"cjoin/internal/agg"
 	"cjoin/internal/catalog"
 	"cjoin/internal/expr"
+	"cjoin/internal/obs"
 	"cjoin/internal/sql"
 	"cjoin/internal/txn"
 )
@@ -87,6 +88,12 @@ type Bound struct {
 
 	// SQL preserves the original statement text for diagnostics.
 	SQL string
+
+	// Trace, when non-nil, is the query's lifecycle timeline. It rides
+	// the Bound through admission and into every shard pipeline (the
+	// shallow per-shard copy shares it), collecting stage marks; nil
+	// disables tracing at zero cost.
+	Trace *obs.Trace
 }
 
 // HasFactPred reports whether the query places a real predicate on the

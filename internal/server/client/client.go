@@ -274,11 +274,40 @@ func (q *Query) Cancel(ctx context.Context) (bool, error) {
 	return res.Canceled, nil
 }
 
+// Trace fetches the query's lifecycle timeline
+// (GET /query/{id}/trace): stage marks from submission to delivery with
+// per-stage durations.
+func (q *Query) Trace(ctx context.Context) (server.TraceResponse, error) {
+	var tr server.TraceResponse
+	err := q.c.do(ctx, http.MethodGet, "/query/"+q.ID+"/trace", nil, &tr)
+	return tr, err
+}
+
 // Stats fetches pipeline and admission statistics.
 func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
 	var st server.StatsResponse
 	err := c.do(ctx, http.MethodGet, "/stats", nil, &st)
 	return st, err
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET /metrics.
+// The server answers 404 when it was built without a telemetry registry;
+// that surfaces as an *APIError.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", decodeErr(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
 }
 
 // Healthy reports whether /healthz answers 200.

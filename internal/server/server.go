@@ -8,8 +8,10 @@
 //	POST   /query             submit SQL; 202 + query id (queues under overload)
 //	GET    /query/{id}        progress / ETA / pages scanned (§3.2.3)
 //	GET    /query/{id}/result block for the decoded rows
+//	GET    /query/{id}/trace  per-query lifecycle timeline (telemetry plane)
 //	DELETE /query/{id}        cancel a queued or running query
 //	GET    /stats             pipeline + admission counters
+//	GET    /metrics           Prometheus text exposition (when Config.Metrics set)
 //	GET    /healthz           liveness
 //
 // Submissions flow through an admission.Queue, so a full pipeline queues
@@ -31,6 +33,7 @@ import (
 	"cjoin/internal/catalog"
 	"cjoin/internal/core"
 	"cjoin/internal/expr"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 	"cjoin/internal/txn"
 )
@@ -44,16 +47,27 @@ type Config struct {
 	// lookups; the oldest finished entries are evicted first.
 	// Default 4096.
 	MaxTracked int
+	// Metrics, when non-nil, is the telemetry registry served at GET
+	// /metrics (Prometheus text exposition). The server threads it into
+	// the admission queue it owns; the executor must have been built over
+	// the same registry for the pipeline families to show up. Nil leaves
+	// /metrics a 404.
+	Metrics *obs.Registry
+	// MaxTraces bounds the per-query lifecycle traces retained for GET
+	// /query/{id}/trace; the oldest are evicted first. Default 1024.
+	// Tracing is always on — its cost is a few timestamps per query.
+	MaxTraces int
 }
 
 // Server is the query service layer over one executor — a single
 // pipeline or a sharded group (internal/shard.Group).
 type Server struct {
-	star *catalog.Star
-	txm  *txn.Manager
-	exec core.Executor
-	adq  *admission.Queue
-	cfg  Config
+	star   *catalog.Star
+	txm    *txn.Manager
+	exec   core.Executor
+	adq    *admission.Queue
+	cfg    Config
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	queries  map[string]*served
@@ -79,12 +93,17 @@ func New(star *catalog.Star, txm *txn.Manager, exec core.Executor, cfg Config) *
 	if cfg.MaxTracked <= 0 {
 		cfg.MaxTracked = 4096
 	}
+	// The admission queue records its stage metrics in the same registry
+	// /metrics serves.
+	acfg := cfg.Admission
+	acfg.Obs = cfg.Metrics
 	return &Server{
 		star:    star,
 		txm:     txm,
 		exec:    exec,
-		adq:     admission.NewQueue(exec, cfg.Admission),
+		adq:     admission.NewQueue(exec, acfg),
 		cfg:     cfg,
+		tracer:  obs.NewTracer(cfg.MaxTraces),
 		queries: make(map[string]*served),
 		started: time.Now(),
 	}
@@ -99,8 +118,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleSubmit)
 	mux.HandleFunc("GET /query/{id}", s.handleStatus)
 	mux.HandleFunc("GET /query/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /query/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -235,10 +256,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	b.Snapshot = s.txm.Begin()
 
+	// The query id is minted before submission so the lifecycle trace
+	// can ride the Bound from the first admission mark on; a rejected
+	// submission drops the trace again.
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("q-%06d", s.seq)
+	s.mu.Unlock()
+	b.Trace = s.tracer.Start(id)
+
 	ticket, err := s.adq.SubmitOpts(b, admission.Options{
 		Client:  req.Client,
 		MaxWait: time.Duration(req.MaxWaitMillis) * time.Millisecond,
 	})
+	if err != nil {
+		s.tracer.Drop(id)
+	}
 	switch {
 	case errors.Is(err, admission.ErrQueueFull):
 		// Pure backpressure: the queue will drain at the pipeline's pace.
@@ -255,14 +288,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sv := &served{
+		id:        id,
 		sql:       req.SQL,
 		bound:     b,
 		ticket:    ticket,
 		submitted: time.Now(),
 	}
 	s.mu.Lock()
-	s.seq++
-	sv.id = fmt.Sprintf("q-%06d", s.seq)
 	s.queries[sv.id] = sv
 	s.order = append(s.order, sv.id)
 	s.evictLocked()
@@ -284,6 +316,7 @@ func (s *Server) evictLocked() {
 		}
 		if len(s.queries) > s.cfg.MaxTracked && sv.ticket.State().Terminal() {
 			delete(s.queries, id)
+			s.tracer.Drop(id)
 			continue
 		}
 		kept = append(kept, id)
@@ -396,6 +429,46 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleTrace serves the query's lifecycle timeline: every stage mark
+// recorded since submission, with per-stage durations. The trace store
+// is bounded (Config.MaxTraces), so very old queries may have lost
+// theirs even while /query/{id} still answers.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := s.tracer.Get(id)
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, "no trace for query %q", id)
+		return
+	}
+	out := TraceResponse{
+		ID:                  id,
+		StartedAtUnixMillis: tr.StartedAt().UnixMilli(),
+		Complete:            tr.Has(obs.StageDelivered),
+	}
+	var prev time.Duration
+	for _, m := range tr.Stages() {
+		out.Stages = append(out.Stages, TraceStage{
+			Stage:           m.Stage,
+			OffsetMicros:    m.At.Microseconds(),
+			SincePrevMicros: (m.At - prev).Microseconds(),
+		})
+		prev = m.At
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format (version 0.0.4); 404 when the server was built
+// without one.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Metrics == nil {
+		writeErr(w, http.StatusNotFound, "metrics are not enabled on this server")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WritePrometheus(w)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	sv, ok := s.lookup(r)
 	if !ok {
@@ -442,6 +515,9 @@ func wireStats(ps core.Stats) PipelineStats {
 		PlaneBytes:     ps.PlaneBytes,
 		PlanePeakBytes: ps.PlanePeakBytes,
 		PlanePipelines: ps.PlanePipelines,
+	}
+	if !ps.CollectedAt.IsZero() {
+		out.CollectedAtUnixMillis = ps.CollectedAt.UnixMilli()
 	}
 	for _, f := range ps.Filters {
 		out.Filters = append(out.Filters, FilterStats{

@@ -10,6 +10,7 @@ import (
 	"cjoin/internal/admission"
 	"cjoin/internal/core"
 	"cjoin/internal/disk"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 	"cjoin/internal/ref"
 	"cjoin/internal/server"
@@ -24,6 +25,7 @@ type testEnv struct {
 	srv  *server.Server
 	ts   *httptest.Server
 	cl   *client.Client
+	reg  *obs.Registry
 }
 
 func startServer(t testing.TB, rows, maxConc int, dc disk.Config, acfg admission.Config) *testEnv {
@@ -40,9 +42,12 @@ func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every server test runs with the telemetry plane on — the cjoind
+	// default — so the instrumented hot paths are what the suite covers.
+	reg := obs.NewRegistry()
 	var exec core.Executor
 	if shards > 1 {
-		g, err := shard.New(ds.Star, shard.Config{Shards: shards, Core: core.Config{MaxConcurrent: maxConc, Workers: 2}})
+		g, err := shard.New(ds.Star, shard.Config{Shards: shards, Core: core.Config{MaxConcurrent: maxConc, Workers: 2}, Obs: reg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,7 +55,7 @@ func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.
 		t.Cleanup(g.Stop)
 		exec = g
 	} else {
-		pipe, err := core.NewPipeline(ds.Star, core.Config{MaxConcurrent: maxConc, Workers: 2})
+		pipe, err := core.NewPipeline(ds.Star, core.Config{MaxConcurrent: maxConc, Workers: 2, Obs: reg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,10 +63,10 @@ func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.
 		t.Cleanup(pipe.Stop)
 		exec = pipe
 	}
-	srv := server.New(ds.Star, ds.Txn, exec, server.Config{Admission: acfg})
+	srv := server.New(ds.Star, ds.Txn, exec, server.Config{Admission: acfg, Metrics: reg})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return &testEnv{ds: ds, exec: exec, srv: srv, ts: ts, cl: client.New(ts.URL)}
+	return &testEnv{ds: ds, exec: exec, srv: srv, ts: ts, cl: client.New(ts.URL), reg: reg}
 }
 
 func workloadSQL(t testing.TB, ds *ssb.Dataset, n int) []string {

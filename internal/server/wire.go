@@ -147,6 +147,12 @@ type PipelineStats struct {
 	// per-shard entry of a partition-dealt group, the partitions dealt to
 	// that shard. Absent for unpartitioned stars.
 	Partitions int `json:"partitions,omitempty"`
+
+	// CollectedAtUnixMillis is when this snapshot's counters were read
+	// (server clock). Scrapers divide counter deltas by the difference of
+	// two snapshots' collection times to get rates without assuming
+	// anything about their own polling jitter.
+	CollectedAtUnixMillis int64 `json:"collected_at_unix_ms,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.
@@ -163,6 +169,33 @@ type StatsResponse struct {
 	Shards []PipelineStats `json:"shards,omitempty"`
 	// Queries counts tracked queries by state.
 	Queries map[string]int `json:"queries"`
+}
+
+// TraceStage is one lifecycle mark within TraceResponse.
+type TraceStage struct {
+	// Stage names the lifecycle point: enqueued, admitted, first_page,
+	// cycle_complete, delivered.
+	Stage string `json:"stage"`
+	// OffsetMicros is the mark's offset from the trace start (submit
+	// time).
+	OffsetMicros int64 `json:"offset_us"`
+	// SincePrevMicros is the duration since the previous mark — the time
+	// the query spent in that stage of the pipeline.
+	SincePrevMicros int64 `json:"since_prev_us"`
+}
+
+// TraceResponse is the body of GET /query/{id}/trace: the query's
+// lifecycle timeline from submission to delivery.
+type TraceResponse struct {
+	ID string `json:"id"`
+	// StartedAtUnixMillis is the trace's epoch (wall clock at submit).
+	StartedAtUnixMillis int64 `json:"started_at_unix_ms"`
+	// Stages is the timeline in mark order. A query still in flight shows
+	// the marks reached so far.
+	Stages []TraceStage `json:"stages"`
+	// Complete reports that the delivered mark is present — the timeline
+	// covers the query's whole life.
+	Complete bool `json:"complete"`
 }
 
 // ErrorResponse is the JSON error envelope for non-2xx statuses.

@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,7 @@ import (
 	"cjoin/internal/core"
 	"cjoin/internal/dimplane"
 	"cjoin/internal/fault"
+	"cjoin/internal/obs"
 	"cjoin/internal/query"
 )
 
@@ -109,6 +111,12 @@ type Config struct {
 	// Logf, when set, receives supervision events (quarantines) and is
 	// passed through to the shard pipelines for failure logging.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, wires the telemetry plane through the whole
+	// group: per-shard pipeline metrics (labeled by shard index), the
+	// shared dimension plane's families, group supervision metrics
+	// (cjoin_shard_*), and fault-injection counters. Core.Obs must stay
+	// nil — the group threads this registry itself.
+	Obs *obs.Registry
 }
 
 // DealPartitions assigns partitions to shards balanced by page count —
@@ -189,6 +197,35 @@ type Group struct {
 	supWg     sync.WaitGroup
 	stall     time.Duration
 	logf      func(format string, args ...any)
+	om        groupMetrics
+}
+
+// groupMetrics holds the group's supervision-tier telemetry handles. The
+// zero value (telemetry off) is fully usable: every handle is nil and
+// every method call no-ops, except shardUp which is always allocated to
+// the shard count so quarantine can index it unconditionally.
+type groupMetrics struct {
+	quarantines     *obs.Counter
+	degradedRejects *obs.Counter
+	shardUp         []*obs.Gauge // index-aligned with pipes
+}
+
+func newGroupMetrics(r *obs.Registry, n int) groupMetrics {
+	gm := groupMetrics{shardUp: make([]*obs.Gauge, n)}
+	if r == nil {
+		return gm
+	}
+	gm.quarantines = r.Counter("cjoin_shard_quarantines_total",
+		"Shards quarantined by the supervisor (pipeline failure or scan stall).")
+	gm.degradedRejects = r.Counter("cjoin_shard_degraded_rejects_total",
+		"Submissions rejected in degraded mode: quarantined shards made the query infeasible, or no shard can serve.")
+	up := r.GaugeVec("cjoin_shard_up",
+		"Shard serving state: 1 healthy, 0 quarantined.", "shard")
+	for i := 0; i < n; i++ {
+		gm.shardUp[i] = up.With(strconv.Itoa(i))
+		gm.shardUp[i].Set(1)
+	}
+	return gm
 }
 
 var _ core.Executor = (*Group)(nil)
@@ -227,6 +264,9 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		// an independent per-shard injector from the spec instead.
 		return nil, fmt.Errorf("shard: Config.Core.Fault must be nil; set Config.Fault and the group derives per-shard injectors")
 	}
+	if cfg.Core.Obs != nil {
+		return nil, fmt.Errorf("shard: Config.Core.Obs must be nil; set Config.Obs and the group threads the registry with per-shard labels")
+	}
 	workers := cfg.Core.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU() / 2
@@ -245,10 +285,20 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 	plcfg := dimplane.Config{
 		MaxConcurrent: norm.MaxConcurrent,
 		LegacyMap:     norm.LegacyMapFilter,
+		Obs:           cfg.Obs,
+	}
+	// Chaos fires inside per-shard injectors; give the derived injectors
+	// the group registry so fired faults are observable. The spec is
+	// copied, not mutated — the caller's Spec stays theirs.
+	fspec := cfg.Fault
+	if fspec != nil && cfg.Obs != nil && fspec.Obs == nil {
+		fc := *fspec
+		fc.Obs = cfg.Obs
+		fspec = &fc
 	}
 	// Admission runs once per logical query on the group plane, so admit
 	// faults arm there — but only for specs not targeted at one shard.
-	if planeInj := cfg.Fault.ForShard(-1); planeInj != nil {
+	if planeInj := fspec.ForShard(-1); planeInj != nil {
 		plcfg.AdmitFault = planeInj.AdmitErr
 	}
 	plane := dimplane.New(star, n, plcfg)
@@ -257,13 +307,16 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		superStop: make(chan struct{}),
 		stall:     cfg.StallTimeout,
 		logf:      cfg.Logf,
+		om:        newGroupMetrics(cfg.Obs, n),
 	}
 	for i := 0; i < n; i++ {
 		cc := cfg.Core
 		cc.MaxConcurrent = norm.MaxConcurrent
 		cc.Workers = perShard
 		cc.Plane = plane
-		cc.Fault = cfg.Fault.ForShard(i)
+		cc.Fault = fspec.ForShard(i)
+		cc.Obs = cfg.Obs
+		cc.ObsShard = i
 		if cc.Logf == nil {
 			cc.Logf = cfg.Logf
 		}
@@ -391,6 +444,7 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		dead := g.firstFailedLocked()
 		cause := g.failed[dead]
 		g.supLock.RUnlock()
+		g.om.degradedRejects.Inc()
 		return nil, &ShardFailedError{Shard: -1, Cause: cause}
 	}
 
@@ -412,6 +466,7 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		cause := g.failed[dead]
 		g.plane.Abort(slot)
 		g.supLock.RUnlock()
+		g.om.degradedRejects.Inc()
 		return nil, &ShardFailedError{Shard: dead, Cause: cause}
 	}
 	healthy := make([]int, 0, len(g.pipes))
@@ -511,7 +566,7 @@ func (g *Group) Stats() core.Stats {
 // — the consistency /stats promises its consumers.
 func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
 	per := g.ShardStats()
-	out := core.Stats{State: core.ShardHealthy}
+	out := core.Stats{CollectedAt: time.Now(), State: core.ShardHealthy}
 	down := 0
 	for i, s := range per {
 		out.TuplesScanned += s.TuplesScanned

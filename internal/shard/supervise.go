@@ -155,6 +155,8 @@ func (g *Group) quarantine(shard int, cause error) {
 		g.plane.Detach()
 	}
 	g.supLock.Unlock()
+	g.om.quarantines.Inc()
+	g.om.shardUp[shard].Set(0)
 	if g.logf != nil {
 		g.logf("shard %d quarantined (%d/%d serving): %v",
 			shard, len(g.pipes)-g.nFailed, len(g.pipes), cause)

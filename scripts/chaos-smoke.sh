@@ -58,6 +58,17 @@ assert st.get("degraded") is True, "stats not degraded"
 assert st["shards"][3]["state"] == "failed", st["shards"][3]
 '
 
+# The telemetry plane proves the injections actually fired (not merely
+# that the shard died for some reason): shard 3's armed scan failure
+# shows on /metrics, and the supervision counters track the quarantine.
+curl -sf "$BASE/metrics" > /tmp/chaos-metrics.txt
+grep -q 'cjoin_fault_injected_total{site="scan-fail",shard="3"}' /tmp/chaos-metrics.txt \
+  || { echo "no fault_injected_total for shard 3 scan-fail"; exit 1; }
+grep -q '^cjoin_shard_quarantines_total 1' /tmp/chaos-metrics.txt \
+  || { echo "quarantine not counted"; exit 1; }
+grep -q 'cjoin_shard_up{shard="3"} 0' /tmp/chaos-metrics.txt \
+  || { echo "shard 3 still reports up"; exit 1; }
+
 # Degraded serving: single-day windows route by partition pruning. Days
 # in surviving partitions complete; days in the dead shard'\''s
 # partitions get the retryable 503. Sampling the 1st of every quarter
