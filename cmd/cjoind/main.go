@@ -62,6 +62,8 @@ func main() {
 		batch    = flag.Int("batch", 0, "pipeline batch rows (0 = default)")
 		queueLen = flag.Int("queue", 0, "admission queue bound (0 = 8*maxconc)")
 		maxWait  = flag.Duration("max-wait", 0, "default queue-wait deadline (0 = unlimited)")
+		admBatch = flag.Int("admit-batch", 16, "queries drained per admission batch — one dimension-plane round per batch (<=1 = per-query admission)")
+		predCach = flag.Int("predcache", 0, "dimension predicate-scan cache entries (0 = default, negative = off)")
 		diskMBs  = flag.Float64("disk-mbps", 0, "simulated sequential bandwidth in MB/s (0 = unthrottled)")
 		seekMs   = flag.Duration("disk-seek", 0, "simulated seek penalty")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
@@ -117,6 +119,7 @@ func main() {
 		MaxConcurrent:    *maxConc,
 		Workers:          *workers,
 		BatchRows:        *batch,
+		PredCacheSize:    *predCach,
 		OptimizeInterval: 100 * time.Millisecond,
 		Logf:             log.Printf,
 	}
@@ -159,7 +162,7 @@ func main() {
 	}
 
 	srv := server.New(ds.Star, ds.Txn, exec, server.Config{
-		Admission: admission.Config{MaxQueue: *queueLen, MaxWait: *maxWait},
+		Admission: admission.Config{MaxQueue: *queueLen, MaxWait: *maxWait, BatchAdmit: *admBatch},
 		Metrics:   metrics,
 	})
 	handler := srv.Handler()

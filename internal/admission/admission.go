@@ -78,6 +78,14 @@ type Config struct {
 	// still waiting after MaxWait fails with ErrDeadlineExceeded.
 	// Zero means wait indefinitely.
 	MaxWait time.Duration
+	// BatchAdmit is the maximum number of queued queries the dispatcher
+	// drains into one executor batch when the executor implements
+	// core.BatchSubmitter — one dimension-plane round and one COW
+	// snapshot publication per store for the whole batch. The drain is
+	// opportunistic: only queries already waiting (and slots already
+	// free) are batched, so batching never delays a lone query. 0 or 1
+	// disables batching; values above maxConc are clamped.
+	BatchAdmit int
 	// Obs, when non-nil, registers the queue's metric families
 	// (cjoin_admission_*) with the telemetry plane; nil disables
 	// instrumentation.
@@ -150,6 +158,11 @@ type Ticket struct {
 	client string
 
 	enqueued time.Time
+	// deadline is enqueued + the effective MaxWait (zero: no deadline).
+	// Immutable after the ticket enters the fifo; the dispatcher checks
+	// it at the dispatch of the ticket's batch, so an expired query is
+	// never admitted just because its timer goroutine hasn't run yet.
+	deadline time.Time
 	timer    *time.Timer
 
 	mu            sync.Mutex
@@ -168,6 +181,10 @@ type Ticket struct {
 type Queue struct {
 	ex  core.Executor
 	cfg Config
+	// bex is non-nil when batching is enabled and the executor supports
+	// it; the dispatcher then drains up to cfg.BatchAdmit tickets per
+	// round through SubmitBatch.
+	bex core.BatchSubmitter
 
 	// tokens holds one entry per pipeline slot; the dispatcher takes one
 	// before Submit and a per-query watcher returns it once the slot is
@@ -279,6 +296,9 @@ func NewQueue(ex core.Executor, cfg Config) *Queue {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 8 * ex.MaxConcurrent()
 	}
+	if cfg.BatchAdmit > ex.MaxConcurrent() {
+		cfg.BatchAdmit = ex.MaxConcurrent()
+	}
 	q := &Queue{
 		ex:        ex,
 		cfg:       cfg,
@@ -286,6 +306,9 @@ func NewQueue(ex core.Executor, cfg Config) *Queue {
 		wake:      make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		perClient: make(map[string]*ClientStats),
+	}
+	if bex, ok := ex.(core.BatchSubmitter); ok && cfg.BatchAdmit > 1 {
+		q.bex = bex
 	}
 	for i := 0; i < ex.MaxConcurrent(); i++ {
 		q.tokens <- struct{}{}
@@ -318,6 +341,12 @@ func (q *Queue) SubmitOpts(b *query.Bound, opts Options) (*Ticket, error) {
 	maxWait := q.cfg.MaxWait
 	if opts.MaxWait != 0 {
 		maxWait = opts.MaxWait
+	}
+	if maxWait > 0 {
+		// Fixed before the ticket becomes visible to the dispatcher
+		// (the fifo append under q.mu publishes it), so beginAdmit can
+		// read it without taking a lock ordering dependency.
+		t.deadline = t.enqueued.Add(maxWait)
 	}
 
 	q.mu.Lock()
@@ -367,22 +396,49 @@ func (q *Queue) signal() {
 	}
 }
 
+// expiredTicket pairs a ticket that expired at dispatch with its timer;
+// finishWaiting needs q.mu, so the pop loop (which holds it) defers the
+// finalization to its caller.
+type expiredTicket struct {
+	t     *Ticket
+	timer *time.Timer
+}
+
+// popLocked pops tickets until one can be admitted, or the line is
+// empty. Tickets whose queue-wait deadline has already passed expire
+// here — at the dispatch of their batch — and are appended to expired
+// for the caller to finalize after releasing q.mu. Callers hold q.mu.
+func (q *Queue) popLocked(expired *[]expiredTicket) *Ticket {
+	now := time.Now()
+	for len(q.fifo) > 0 {
+		t := q.fifo[0]
+		q.fifo = q.fifo[1:]
+		switch v, timer := t.beginAdmit(now); v {
+		case admitOK:
+			return t
+		case admitExpired:
+			*expired = append(*expired, expiredTicket{t, timer})
+		}
+		// admitSkip: canceled or expired while waiting; already terminal.
+	}
+	return nil
+}
+
 // next pops the oldest still-queued ticket, blocking until one arrives.
 // It returns nil once the queue is closed and drained.
 func (q *Queue) next() *Ticket {
 	for {
+		var expired []expiredTicket
 		q.mu.Lock()
-		for len(q.fifo) > 0 {
-			t := q.fifo[0]
-			q.fifo = q.fifo[1:]
-			if t.beginAdmit() {
-				q.mu.Unlock()
-				return t
-			}
-			// Canceled or expired while waiting; already terminal.
-		}
+		t := q.popLocked(&expired)
 		closed := q.closed
 		q.mu.Unlock()
+		for _, e := range expired {
+			e.t.finishWaiting(e.timer, StateExpired)
+		}
+		if t != nil {
+			return t
+		}
 		if closed {
 			return nil
 		}
@@ -394,11 +450,28 @@ func (q *Queue) next() *Ticket {
 	}
 }
 
+// tryNext is next without the blocking: nil when no admittable ticket
+// is waiting right now. The batch drain uses it so batching never
+// waits for queries that haven't arrived.
+func (q *Queue) tryNext() *Ticket {
+	var expired []expiredTicket
+	q.mu.Lock()
+	t := q.popLocked(&expired)
+	q.mu.Unlock()
+	for _, e := range expired {
+		e.t.finishWaiting(e.timer, StateExpired)
+	}
+	return t
+}
+
 // dispatch is the admission loop: strict FIFO, one pipeline slot per
 // running query. The slot token is acquired before a ticket leaves the
 // queue, so a ticket waiting for capacity stays Queued — cancellable and
 // subject to its queue-wait deadline — until the moment it can actually
-// be admitted.
+// be admitted. With batching enabled (Config.BatchAdmit and a
+// core.BatchSubmitter executor), each round opportunistically drains
+// additional already-waiting tickets — one free slot token each — into
+// a single SubmitBatch, paying one dimension-plane round for the lot.
 func (q *Queue) dispatch() {
 	// On exit, fail every ticket still waiting: the dispatcher is the
 	// only goroutine that can admit them. The normal drain path exits
@@ -413,8 +486,11 @@ func (q *Queue) dispatch() {
 			t := q.fifo[0]
 			q.fifo = q.fifo[1:]
 			q.mu.Unlock()
-			if t.beginAdmit() {
+			switch v, timer := t.beginAdmit(time.Now()); v {
+			case admitOK:
 				t.fail(ErrClosed)
+			case admitExpired:
+				t.finishWaiting(timer, StateExpired)
 			}
 		}
 	}()
@@ -428,33 +504,140 @@ func (q *Queue) dispatch() {
 		if t == nil {
 			return
 		}
-		// Marked before the executor submit: the pipeline can deliver the
-		// first page mid-registration, and the timeline must show admitted
-		// before first_page. Latest-wins so a slot-exhaustion requeue
-		// refreshes the mark on the attempt that sticks.
-		t.bound.Trace.MarkLatest(obs.StageAdmitted)
-		h, err := q.ex.Submit(t.bound)
-		if err != nil {
-			q.tokens <- struct{}{}
-			if errors.Is(err, core.ErrTooManyQueries) {
-				// A submitter outside the queue holds slots; retry after
-				// a short pause without giving up FIFO order. Keep the
-				// ticket in hand during the backoff so a shutdown can
-				// finalize it instead of abandoning it non-terminal.
-				select {
-				case <-time.After(2 * time.Millisecond):
-					t.requeueFront()
-				case <-q.stopCh:
-					t.fail(ErrClosed)
-				}
-				continue
-			}
-			t.fail(err)
+		if q.bex == nil {
+			q.admitOne(t)
 			continue
 		}
-		t.run(h)
-		go q.watch(t, h)
+		// Batch drain: take (token, ticket) pairs without blocking —
+		// batching amortizes work that is already waiting, it never
+		// holds a query back hoping for company.
+		batch := append(make([]*Ticket, 0, q.cfg.BatchAdmit), t)
+		for len(batch) < q.cfg.BatchAdmit {
+			var tok bool
+			select {
+			case <-q.tokens:
+				tok = true
+			default:
+			}
+			if !tok {
+				break
+			}
+			nt := q.tryNext()
+			if nt == nil {
+				q.tokens <- struct{}{}
+				break
+			}
+			batch = append(batch, nt)
+		}
+		if len(batch) == 1 {
+			q.admitOne(t)
+			continue
+		}
+		q.admitBatch(batch)
 	}
+}
+
+// admitOne submits one ticket to the executor — the per-query path. It
+// reports whether the ticket was requeued at the head of the line
+// (transient slot exhaustion), which the batch fallback uses to keep
+// FIFO order intact.
+func (q *Queue) admitOne(t *Ticket) (requeued bool) {
+	// Marked before the executor submit: the pipeline can deliver the
+	// first page mid-registration, and the timeline must show admitted
+	// before first_page. Latest-wins so a slot-exhaustion requeue
+	// refreshes the mark on the attempt that sticks.
+	t.bound.Trace.MarkLatest(obs.StageAdmitted)
+	h, err := q.ex.Submit(t.bound)
+	if err != nil {
+		q.tokens <- struct{}{}
+		if errors.Is(err, core.ErrTooManyQueries) {
+			// A submitter outside the queue holds slots; retry after
+			// a short pause without giving up FIFO order. Keep the
+			// ticket in hand during the backoff so a shutdown can
+			// finalize it instead of abandoning it non-terminal.
+			select {
+			case <-time.After(2 * time.Millisecond):
+				t.requeueFront()
+				return true
+			case <-q.stopCh:
+				t.fail(ErrClosed)
+			}
+			return false
+		}
+		t.fail(err)
+		return false
+	}
+	t.run(h)
+	go q.watch(t, h)
+	return false
+}
+
+// admitBatch drives one drained batch through the executor's batch fast
+// path. A whole-batch error admitted nothing (Plane.AdmitBatch is
+// all-or-nothing), so the fallback re-drives each ticket through
+// admitOne in order — per-query error attribution, fault injection, and
+// the slot-exhaustion retry then behave exactly as without batching.
+func (q *Queue) admitBatch(batch []*Ticket) {
+	qs := make([]*query.Bound, len(batch))
+	for i, t := range batch {
+		t.bound.Trace.MarkLatest(obs.StageAdmitted)
+		qs[i] = t.bound
+	}
+	handles, errs, err := q.bex.SubmitBatch(context.Background(), qs)
+	if err != nil {
+		for i, t := range batch {
+			if q.admitOne(t) {
+				// t went back to the head of the line; its unprocessed
+				// batchmates must line up right behind it, not be
+				// admitted over it.
+				q.requeueTailAfter(t, batch[i+1:])
+				return
+			}
+		}
+		return
+	}
+	for i, t := range batch {
+		if errs[i] != nil {
+			q.tokens <- struct{}{}
+			t.fail(errs[i])
+			continue
+		}
+		t.run(handles[i])
+		go q.watch(t, handles[i])
+	}
+}
+
+// requeueTailAfter returns the unprocessed tail of a broken-up batch to
+// the waiting line, directly behind head (which requeueFront just put
+// back), and returns their slot tokens. Tickets with a cancel or
+// deadline pending finalize instead, exactly as requeueFront would
+// have.
+func (q *Queue) requeueTailAfter(head *Ticket, tail []*Ticket) {
+	if len(tail) == 0 {
+		return
+	}
+	live := make([]*Ticket, 0, len(tail))
+	for _, t := range tail {
+		q.tokens <- struct{}{}
+		if t.revertToQueued() {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	q.mu.Lock()
+	pos := 0
+	if len(q.fifo) > 0 && q.fifo[0] == head {
+		// head may have terminalized (cancel/expire) and left the line
+		// between its requeue and now; the tail then simply takes the
+		// front — it is older than everything else waiting.
+		pos = 1
+	}
+	rest := append([]*Ticket(nil), q.fifo[pos:]...)
+	q.fifo = append(append(q.fifo[:pos:pos], live...), rest...)
+	q.mu.Unlock()
+	q.signal()
 }
 
 // watch delivers the ticket's result and returns the slot token once the
@@ -536,45 +719,82 @@ func (q *Queue) Stats() Stats {
 
 // --- ticket state machine -------------------------------------------------
 
-// beginAdmit moves a queued ticket to Admitting; it fails for tickets
-// canceled or expired while waiting.
-func (t *Ticket) beginAdmit() bool {
+// admitVerdict is beginAdmit's decision for a ticket leaving the line.
+type admitVerdict int
+
+const (
+	// admitOK: the ticket is now Admitting — submit it.
+	admitOK admitVerdict = iota
+	// admitSkip: the ticket terminalized while queued (canceled or
+	// expired by its timer); it finalized itself, skip it.
+	admitSkip
+	// admitExpired: the ticket's queue-wait deadline passed but its
+	// timer has not fired yet — the caller must finalize it with the
+	// returned timer. Under batch drain a ticket deep in the batch has
+	// its deadline checked here, at the dispatch of *its* batch, so no
+	// expired query is ever admitted inside a batch.
+	admitExpired
+)
+
+// beginAdmit moves a queued ticket to Admitting, unless it terminalized
+// while waiting or its deadline has already passed at now. On
+// admitExpired the ticket is transitioned under t.mu and the caller
+// finalizes it via finishWaiting (which takes q.mu, so it must run
+// outside q.mu).
+func (t *Ticket) beginAdmit(now time.Time) (admitVerdict, *time.Timer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state != StateQueued {
-		return false
+		return admitSkip, nil
+	}
+	if !t.deadline.IsZero() && !now.Before(t.deadline) {
+		timer := t.transitionLocked(StateExpired, &DeadlineError{Waited: now.Sub(t.enqueued)})
+		return admitExpired, timer
 	}
 	t.state = StateAdmitting
-	return true
+	return admitOK, nil
 }
 
-// requeueFront puts an Admitting ticket back at the head of the line
-// after a transient submission failure, honoring any cancel or deadline
-// that fired while the ticket was in the dispatcher's hands. The whole
-// decision runs under t.mu so it cannot race expire or Cancel.
-func (t *Ticket) requeueFront() {
+// revertToQueued moves an Admitting ticket back to Queued, honoring any
+// cancel or deadline that fired while the ticket was in the
+// dispatcher's hands — those finalize the ticket instead. It reports
+// whether the ticket is live (caller must reinsert it into the line).
+// The whole decision runs under t.mu so it cannot race expire or
+// Cancel.
+func (t *Ticket) revertToQueued() bool {
 	t.mu.Lock()
 	if t.state != StateAdmitting {
 		t.mu.Unlock()
-		return
+		return false
 	}
 	switch {
 	case t.cancelPending:
 		timer := t.transitionLocked(StateCanceled, core.ErrQueryCanceled)
 		t.mu.Unlock()
 		t.finishWaiting(timer, StateCanceled)
+		return false
 	case t.expirePending:
 		timer := t.transitionLocked(StateExpired, &DeadlineError{Waited: time.Since(t.enqueued)})
 		t.mu.Unlock()
 		t.finishWaiting(timer, StateExpired)
+		return false
 	default:
 		t.state = StateQueued
 		t.mu.Unlock()
-		t.q.mu.Lock()
-		t.q.fifo = append([]*Ticket{t}, t.q.fifo...)
-		t.q.mu.Unlock()
-		t.q.signal()
+		return true
 	}
+}
+
+// requeueFront puts an Admitting ticket back at the head of the line
+// after a transient submission failure.
+func (t *Ticket) requeueFront() {
+	if !t.revertToQueued() {
+		return
+	}
+	t.q.mu.Lock()
+	t.q.fifo = append([]*Ticket{t}, t.q.fifo...)
+	t.q.mu.Unlock()
+	t.q.signal()
 }
 
 // run records a successful admission.

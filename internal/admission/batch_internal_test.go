@@ -1,0 +1,335 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+	"cjoin/internal/ssb"
+)
+
+// fakeHandle is a Handle whose query completes when the test says so.
+type fakeHandle struct {
+	res  core.QueryResult
+	done chan struct{}
+}
+
+func newFakeHandle() *fakeHandle { return &fakeHandle{done: make(chan struct{})} }
+
+func (h *fakeHandle) finish() { close(h.done) }
+
+func (h *fakeHandle) Slot() int                  { return 0 }
+func (h *fakeHandle) Wait() core.QueryResult     { <-h.done; return h.res }
+func (h *fakeHandle) Done() <-chan struct{}      { return h.done }
+func (h *fakeHandle) Cancel() bool               { return false }
+func (h *fakeHandle) Canceled() bool             { return false }
+func (h *fakeHandle) PagesScanned() int64        { return 0 }
+func (h *fakeHandle) ETA() (time.Duration, bool) { return 0, false }
+func (h *fakeHandle) Progress() float64          { return 0 }
+func (h *fakeHandle) Submission() time.Duration  { return 0 }
+
+// fakeExec is a choreographed Executor+BatchSubmitter: every Submit and
+// SubmitBatch blocks until the test feeds the gate, so the dispatcher
+// can be held mid-admission while the waiting line is staged — batch
+// formation becomes deterministic instead of a scheduling race.
+type fakeExec struct {
+	maxConc int
+	gate    chan struct{}
+	entered chan struct{} // one signal per Submit/SubmitBatch entry
+
+	batchErr  error   // next SubmitBatch fails whole-batch with this
+	queryErrs []error // per-query errs for the next SubmitBatch
+
+	mu      sync.Mutex
+	singles int
+	batches []int
+	handles []*fakeHandle
+}
+
+func newFakeExec(maxConc int) *fakeExec {
+	return &fakeExec{
+		maxConc: maxConc,
+		gate:    make(chan struct{}, 64),
+		entered: make(chan struct{}, 64),
+	}
+}
+
+func (f *fakeExec) newHandle() *fakeHandle {
+	h := newFakeHandle()
+	f.handles = append(f.handles, h)
+	return h
+}
+
+func (f *fakeExec) finishAll() {
+	f.mu.Lock()
+	hs := f.handles
+	f.handles = nil
+	f.mu.Unlock()
+	for _, h := range hs {
+		h.finish()
+	}
+}
+
+func (f *fakeExec) Submit(q *query.Bound) (core.Handle, error) {
+	f.entered <- struct{}{}
+	<-f.gate
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.singles++
+	return f.newHandle(), nil
+}
+
+func (f *fakeExec) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, error) {
+	return f.Submit(q)
+}
+
+func (f *fakeExec) SubmitBatch(ctx context.Context, qs []*query.Bound) ([]core.Handle, []error, error) {
+	f.entered <- struct{}{}
+	<-f.gate
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.batchErr != nil {
+		err := f.batchErr
+		f.batchErr = nil
+		return nil, nil, err
+	}
+	f.batches = append(f.batches, len(qs))
+	handles := make([]core.Handle, len(qs))
+	errs := make([]error, len(qs))
+	for i := range qs {
+		if f.queryErrs != nil && f.queryErrs[i] != nil {
+			errs[i] = f.queryErrs[i]
+			continue
+		}
+		handles[i] = f.newHandle()
+	}
+	f.queryErrs = nil
+	return handles, errs, nil
+}
+
+func (f *fakeExec) MaxConcurrent() int { return f.maxConc }
+func (f *fakeExec) ActiveQueries() int { return 0 }
+func (f *fakeExec) Stats() core.Stats  { return core.Stats{} }
+func (f *fakeExec) Quiesce()           {}
+func (f *fakeExec) Stop()              {}
+
+var (
+	_ core.Executor       = (*fakeExec)(nil)
+	_ core.BatchSubmitter = (*fakeExec)(nil)
+)
+
+func testBounds(t *testing.T, n int) []*query.Bound {
+	t.Helper()
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ssb.NewWorkload(ds, 0.1, 3)
+	out := make([]*query.Bound, n)
+	for i := range out {
+		_, text := w.Next()
+		b, err := query.ParseBind(text, ds.Star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// awaitEntry fails the test unless the executor reports a
+// Submit/SubmitBatch entry soon.
+func awaitEntry(t *testing.T, f *fakeExec) {
+	t.Helper()
+	select {
+	case <-f.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("executor was not reached")
+	}
+}
+
+func closeQueue(t *testing.T, q *Queue) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestBatchDrainFormsBatches choreographs the tentpole's queue half:
+// while the dispatcher is held inside the first query's Submit, three
+// more queries line up; the next dispatch round must drain all three
+// into one SubmitBatch instead of three pipeline rounds.
+func TestBatchDrainFormsBatches(t *testing.T) {
+	f := newFakeExec(4)
+	q := NewQueue(f, Config{BatchAdmit: 8}) // clamped to maxConc=4
+	bounds := testBounds(t, 4)
+
+	t1, err := q.Submit(bounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitEntry(t, f) // dispatcher blocked in Submit(q1)
+	var tail []*Ticket
+	for _, b := range bounds[1:] {
+		tk, err := q.Submit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, tk)
+	}
+	f.gate <- struct{}{} // q1 admitted one-at-a-time
+	awaitEntry(t, f)     // dispatcher blocked in SubmitBatch(q2..q4)
+	f.gate <- struct{}{}
+
+	// Counts are recorded when the executor call returns; Running state
+	// follows it, so waiting for Running makes the counts stable.
+	for _, tk := range append([]*Ticket{t1}, tail...) {
+		for tk.State() != StateRunning {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	f.mu.Lock()
+	singles, batches := f.singles, append([]int(nil), f.batches...)
+	f.mu.Unlock()
+	if singles != 1 || len(batches) != 1 || batches[0] != 3 {
+		t.Fatalf("singles=%d batches=%v, want 1 single and one batch of 3", singles, batches)
+	}
+	f.finishAll()
+	closeQueue(t, q)
+}
+
+// TestBatchWholeErrorFallsBackPerQuery: a whole-batch error means
+// nothing was admitted, so every drained ticket must be re-driven
+// through the per-query path — and still complete.
+func TestBatchWholeErrorFallsBackPerQuery(t *testing.T) {
+	f := newFakeExec(4)
+	f.batchErr = errors.New("plane unavailable")
+	q := NewQueue(f, Config{BatchAdmit: 4})
+	bounds := testBounds(t, 3)
+
+	t1, err := q.Submit(bounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitEntry(t, f)
+	t2, err := q.Submit(bounds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := q.Submit(bounds[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.gate <- struct{}{} // q1 via Submit
+	awaitEntry(t, f)     // SubmitBatch(q2,q3) -> whole-batch error
+	f.gate <- struct{}{}
+	awaitEntry(t, f) // fallback Submit(q2)
+	f.gate <- struct{}{}
+	awaitEntry(t, f) // fallback Submit(q3)
+	f.gate <- struct{}{}
+
+	for _, tk := range []*Ticket{t1, t2, t3} {
+		for tk.State() != StateRunning {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	f.mu.Lock()
+	singles, batches := f.singles, len(f.batches)
+	f.mu.Unlock()
+	if singles != 3 || batches != 0 {
+		t.Fatalf("singles=%d batches=%d, want 3 per-query submissions, no recorded batch", singles, batches)
+	}
+	f.finishAll()
+	closeQueue(t, q)
+}
+
+// TestBatchPerQueryError: a per-query error inside an otherwise
+// successful batch fails exactly that ticket; its batchmates run.
+func TestBatchPerQueryError(t *testing.T) {
+	f := newFakeExec(4)
+	boom := errors.New("schema mismatch")
+	q := NewQueue(f, Config{BatchAdmit: 4})
+	bounds := testBounds(t, 3)
+
+	t1, err := q.Submit(bounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitEntry(t, f)
+	t2, err := q.Submit(bounds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := q.Submit(bounds[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.queryErrs = []error{errors.New("unused"), nil} // t2 fails, t3 runs
+	f.queryErrs[0] = boom
+	f.gate <- struct{}{} // q1
+	awaitEntry(t, f)     // SubmitBatch(q2,q3)
+	f.gate <- struct{}{}
+
+	if res := t2.Wait(); !errors.Is(res.Err, boom) {
+		t.Fatalf("t2 err = %v, want %v", res.Err, boom)
+	}
+	for _, tk := range []*Ticket{t1, t3} {
+		for tk.State() != StateRunning {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	f.finishAll()
+	closeQueue(t, q)
+}
+
+// TestLateDeadlineCheckedAtBatchDispatch is the satellite's guarantee:
+// a ticket whose queue-wait deadline has passed — even if its timer has
+// not fired yet (late timer under load) — must expire at the dispatch
+// of its batch, never be admitted inside one. The test simulates the
+// late timer by moving the published deadline into the past while the
+// ticket waits.
+func TestLateDeadlineCheckedAtBatchDispatch(t *testing.T) {
+	f := newFakeExec(4)
+	q := NewQueue(f, Config{BatchAdmit: 4})
+	bounds := testBounds(t, 2)
+
+	t1, err := q.Submit(bounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitEntry(t, f) // dispatcher held in Submit(q1)
+	t2, err := q.SubmitOpts(bounds[1], Options{MaxWait: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2.mu.Lock()
+	t2.deadline = time.Now().Add(-time.Millisecond)
+	t2.mu.Unlock()
+	f.gate <- struct{}{} // release q1; dispatcher pops q2 next
+
+	res := t2.Wait()
+	var de *DeadlineError
+	if !errors.As(res.Err, &de) {
+		t.Fatalf("t2 err = %v, want DeadlineError", res.Err)
+	}
+	if t2.State() != StateExpired {
+		t.Fatalf("t2 state = %v, want StateExpired", t2.State())
+	}
+	f.mu.Lock()
+	singles, batches := f.singles, len(f.batches)
+	f.mu.Unlock()
+	if singles != 1 || batches != 0 {
+		t.Fatalf("singles=%d batches=%d: the expired ticket reached the executor", singles, batches)
+	}
+	for t1.State() != StateRunning {
+		time.Sleep(time.Millisecond)
+	}
+	f.finishAll()
+	closeQueue(t, q)
+}

@@ -97,6 +97,12 @@ type Config struct {
 	// tables for the original map[int64]*dimEntry + RWMutex store. For
 	// ablation benchmarks only.
 	LegacyMapFilter bool
+	// PredCacheSize bounds the dimension plane's predicate-scan cache
+	// (memoized SelectRows results keyed by canonical predicate
+	// fingerprint). 0 selects dimplane.DefaultPredCacheSize; negative
+	// disables caching. Ignored when Plane is supplied — the plane
+	// owner configured it.
+	PredCacheSize int
 	// FactSource overrides the physical source of the continuous scan —
 	// e.g. a column-store scan/merge (§5). Row width must match the
 	// star's fact schema. Incompatible with partitioned stars.

@@ -69,3 +69,21 @@ type Executor interface {
 	// ErrPipelineStopped.
 	Stop()
 }
+
+// BatchSubmitter is the optional batch fast path an Executor may
+// implement: register K queries in one dimension-plane round, paying
+// one store snapshot publication per dimension for the whole batch
+// instead of one per query. The admission queue type-asserts for it
+// when draining a batch; executors without it are driven one query at
+// a time.
+//
+// The two slices are parallel to qs: for each i exactly one of
+// handles[i] (success) or errs[i] (per-query failure, e.g. activation
+// on a stopped shard) is non-nil. A non-nil error return means the
+// whole batch failed up front — no query was admitted, handles and
+// errs are nil — and the caller should fall back to SubmitCtx per
+// query (which reproduces per-query errors like ErrTooManyQueries with
+// the usual semantics).
+type BatchSubmitter interface {
+	SubmitBatch(ctx context.Context, qs []*query.Bound) (handles []Handle, errs []error, err error)
+}

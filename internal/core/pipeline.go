@@ -292,6 +292,7 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 			MaxConcurrent: cfg.MaxConcurrent,
 			LegacyMap:     cfg.LegacyMapFilter,
 			Obs:           cfg.Obs,
+			PredCacheSize: cfg.PredCacheSize,
 		}
 		if cfg.Fault != nil {
 			pcfg.AdmitFault = cfg.Fault.AdmitErr
@@ -368,7 +369,10 @@ func NewPipeline(star *catalog.Star, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
-var _ Executor = (*Pipeline)(nil)
+var (
+	_ Executor       = (*Pipeline)(nil)
+	_ BatchSubmitter = (*Pipeline)(nil)
+)
 
 // Start launches the pipeline goroutines.
 func (p *Pipeline) Start() {
@@ -526,6 +530,60 @@ func (p *Pipeline) submitCtx(ctx context.Context, q *query.Bound, sink TupleSink
 		return nil, err
 	}
 	return h, nil
+}
+
+// SubmitBatch registers K bound queries through one dimension-plane
+// round (Plane.AdmitBatch): each distinct dimension predicate is
+// evaluated once for the batch and each store publishes one COW
+// snapshot carrying all K bit-tags. Activation then proceeds per
+// query; an individual activation failure retires that query's slot
+// and surfaces in errs without disturbing its batchmates. See
+// BatchSubmitter for the return contract.
+func (p *Pipeline) SubmitBatch(ctx context.Context, qs []*query.Bound) ([]Handle, []error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if f := p.failure.Load(); f != nil {
+		return nil, nil, f
+	}
+	if p.stopped.Load() {
+		return nil, nil, ErrPipelineStopped
+	}
+	for _, q := range qs {
+		if q.Schema != p.star {
+			return nil, nil, fmt.Errorf("core: query bound against a different star schema")
+		}
+	}
+	start := time.Now()
+	slots, err := p.plane.AdmitBatch(ctx, qs)
+	if err != nil {
+		if errors.Is(err, dimplane.ErrSlotsExhausted) {
+			return nil, nil, ErrTooManyQueries
+		}
+		return nil, nil, err
+	}
+	handles := make([]Handle, len(qs))
+	errs := make([]error, len(qs))
+	for i, q := range qs {
+		h, aerr := p.activate(ctx, q, slots[i], nil, start)
+		if aerr != nil {
+			// Same compensation as submitCtx: this pipeline's hold is the
+			// sole hold, except under ErrPipelineStopped where the
+			// shutdown sweep owns delivery.
+			if !errors.Is(aerr, ErrPipelineStopped) {
+				p.plane.Retire(slots[i])
+			}
+			errs[i] = aerr
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			h.Cancel()
+			errs[i] = cerr
+			continue
+		}
+		handles[i] = h
+	}
+	return handles, errs, nil
 }
 
 // Activate registers a query that the shared dimension plane has already
@@ -784,6 +842,13 @@ type Stats struct {
 	PlaneBytes     int64 // resident dimension-store bytes
 	PlanePeakBytes int64 // high-water mark of PlaneBytes
 	PlanePipelines int   // pipelines sharing the plane
+
+	// PR 8 admission-throughput figures, also once per plane.
+	PlaneCacheHits    int64 // predicate scans skipped via the scan cache / batch reuse
+	PlaneCacheMisses  int64 // cache-enabled resolutions that scanned the heap
+	PlanePublishes    int64 // dimension-store COW snapshot publications
+	PlaneBatchAdmits  int64 // AdmitBatch rounds
+	PlaneBatchQueries int64 // queries admitted through AdmitBatch
 }
 
 // Stats snapshots the pipeline counters and per-filter statistics. It is
@@ -819,6 +884,11 @@ func (p *Pipeline) Stats() Stats {
 		s.PlaneBytes = ps.MemBytes
 		s.PlanePeakBytes = ps.PeakMemBytes
 		s.PlanePipelines = ps.Probers
+		s.PlaneCacheHits = ps.CacheHits
+		s.PlaneCacheMisses = ps.CacheMisses
+		s.PlanePublishes = ps.SnapshotPublishes
+		s.PlaneBatchAdmits = ps.BatchAdmits
+		s.PlaneBatchQueries = ps.BatchQueries
 	}
 	return s
 }

@@ -309,6 +309,38 @@ func (b *Builder) SetBitAll(i int) {
 	}
 }
 
+// SetBitsAll ORs every set bit of mask into every stored entry's
+// bit-vector in a single arena pass — the batched form of SetBitAll for
+// K admitted queries that do not reference this dimension. One sweep
+// installs all K tags where the per-query path would sweep K times.
+// mask must be Words() words wide; an all-zero mask is a no-op.
+func (b *Builder) SetBitsAll(mask bitvec.Vec) {
+	any := false
+	for _, w := range mask {
+		if w != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	b.privatize()
+	if b.s.words == 1 {
+		m := mask[0]
+		for j := range b.s.bits {
+			b.s.bits[j] |= m
+		}
+		return
+	}
+	w := b.s.words
+	for j := 0; j < len(b.s.bits); j += w {
+		for k := 0; k < w; k++ {
+			b.s.bits[j+k] |= mask[k]
+		}
+	}
+}
+
 // ClearBitAll clears bit i in every stored entry's bit-vector (Algorithm
 // 2, query finalization).
 func (b *Builder) ClearBitAll(i int) {

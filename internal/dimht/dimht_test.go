@@ -342,3 +342,52 @@ func TestConcurrentReadersWriters(t *testing.T) {
 		<-done
 	}
 }
+
+// TestSetBitsAll checks the multi-slot broadcast sweep against the
+// equivalent sequence of single-bit broadcasts, in both the one-word
+// fast path and the multi-word layout, plus the empty-mask no-op.
+func TestSetBitsAll(t *testing.T) {
+	for _, words := range []int{1, 3} {
+		tab := New(words, 2)
+		tab.Update(func(b *Builder) {
+			for k := int64(0); k < 40; k++ {
+				b.Upsert(k, row(k))
+			}
+		})
+		mask := bitvec.New(words * 64)
+		mask.Set(0)
+		mask.Set(5)
+		if words > 1 {
+			mask.Set(64 + 7)
+			mask.Set(words*64 - 1)
+		}
+		before := tab.Load()
+		tab.Update(func(b *Builder) { b.SetBitsAll(mask) })
+		tab.Load().ForEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+			for i := 0; i < words*64; i++ {
+				if bv.Get(i) != mask.Get(i) {
+					t.Fatalf("words=%d key %d bit %d = %v, want %v", words, key, i, bv.Get(i), mask.Get(i))
+				}
+			}
+			return true
+		})
+		// The pre-sweep snapshot is immutable: COW must not have leaked
+		// writes into it.
+		before.ForEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+			if bv.Count() != 0 {
+				t.Fatalf("words=%d: snapshot taken before sweep mutated (key %d)", words, key)
+			}
+			return true
+		})
+		// Empty mask: no privatization, no change.
+		tab.Update(func(b *Builder) { b.SetBitsAll(bitvec.New(words * 64)) })
+		tab.Load().ForEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+			for i := 0; i < words*64; i++ {
+				if bv.Get(i) != mask.Get(i) {
+					t.Fatalf("words=%d: empty-mask sweep changed key %d", words, key)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,417 @@
+package dimplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cjoin/internal/bitvec"
+	"cjoin/internal/catalog"
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+)
+
+// randBound builds a random 2-dim query over miniStar: each dimension
+// independently unreferenced, or filtered by one of a few templates, so
+// batches mix non-ref installs, ref installs, and repeated predicates.
+func randBound(star *catalog.Star, rng *rand.Rand) *query.Bound {
+	pred := func(dim int) expr.Node {
+		switch rng.Intn(3) {
+		case 0:
+			return predLt(dim, rng.Int63n(5))
+		case 1:
+			return expr.Bin{Op: expr.Eq, L: expr.Col{Slot: dim, Idx: 1}, R: expr.Const{V: rng.Int63n(4)}}
+		default:
+			return expr.Bin{Op: expr.Ne, L: expr.Col{Slot: dim, Idx: 1}, R: expr.Const{V: rng.Int63n(4)}}
+		}
+	}
+	b := &query.Bound{
+		Schema:   star,
+		DimRefs:  make([]bool, 2),
+		DimPreds: make([]expr.Node, 2),
+	}
+	for d := 0; d < 2; d++ {
+		if rng.Intn(3) > 0 {
+			b.DimRefs[d] = true
+			b.DimPreds[d] = pred(d)
+		}
+	}
+	return b
+}
+
+// slotKeys collects the key set carrying a slot's bit in one store.
+func slotKeys(st Store, slot int) map[int64]bool {
+	out := make(map[int64]bool)
+	st.ForEach(func(key int64, _ []int64, bv bitvec.Vec) bool {
+		if bv.Get(slot) {
+			out[key] = true
+		}
+		return true
+	})
+	return out
+}
+
+func sameKeys(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdmitBatchParity is the batch-admission exactness property: for
+// randomized query batches — mixed refs, repeated templates, every
+// store implementation, cache on and off — AdmitBatch must leave every
+// store bit-for-bit identical to one-at-a-time Admit of the same
+// queries, and interleaved retires must not perturb survivors.
+func TestAdmitBatchParity(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, legacy bool) {
+		for _, cacheSize := range []int{-1, 0} {
+			t.Run(fmt.Sprintf("cache=%d", cacheSize), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(99))
+				star := miniStar(t, 30)
+				ctx := context.Background()
+				for trial := 0; trial < 25; trial++ {
+					k := 1 + rng.Intn(8)
+					qs := make([]*query.Bound, k)
+					for i := range qs {
+						qs[i] = randBound(star, rng)
+						if i > 0 && rng.Intn(3) == 0 {
+							qs[i] = qs[rng.Intn(i)] // repeated template
+						}
+					}
+					cfg := Config{MaxConcurrent: 16, LegacyMap: legacy, PredCacheSize: cacheSize}
+					batched := New(star, 1, cfg)
+					seq := New(star, 1, cfg)
+					bs, err := batched.AdmitBatch(ctx, qs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ss := make([]int, k)
+					for i, q := range qs {
+						if ss[i], err = seq.Admit(ctx, q); err != nil {
+							t.Fatal(err)
+						}
+					}
+					check := func(stage string) {
+						for d := 0; d < 2; d++ {
+							for i := range qs {
+								if bk, sk := slotKeys(batched.Store(d), bs[i]), slotKeys(seq.Store(d), ss[i]); !sameKeys(bk, sk) {
+									t.Fatalf("trial %d %s: dim %d query %d: batched selects %d keys, sequential %d",
+										trial, stage, d, i, len(bk), len(sk))
+								}
+							}
+							if bl, sl := batched.Store(d).Len(), seq.Store(d).Len(); bl != sl {
+								t.Fatalf("trial %d %s: dim %d: batched stores %d entries, sequential %d", trial, stage, d, bl, sl)
+							}
+							if br, sr := batched.Store(d).RefCount(), seq.Store(d).RefCount(); br != sr {
+								t.Fatalf("trial %d %s: dim %d: refs %d vs %d", trial, stage, d, br, sr)
+							}
+						}
+					}
+					check("admitted")
+					// Retire a random strict subset on both planes; the
+					// survivors must still match exactly.
+					if k > 1 {
+						drop := rng.Intn(k-1) + 1
+						for i := 0; i < drop; i++ {
+							batched.Retire(bs[i])
+							seq.Retire(ss[i])
+						}
+						bs, ss, qs = bs[drop:], ss[drop:], qs[drop:]
+						check("after partial retire")
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestAdmitBatchAllOrNothing: slot exhaustion mid-batch admits nothing
+// and leaves no trace, and the failure does not disturb queries already
+// admitted.
+func TestAdmitBatchAllOrNothing(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, legacy bool) {
+		star := miniStar(t, 20)
+		pl := New(star, 1, Config{MaxConcurrent: 4, LegacyMap: legacy})
+		ctx := context.Background()
+		held, err := pl.Admit(ctx, boundRef(star, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := slotKeys(pl.Store(0), held)
+
+		qs := make([]*query.Bound, 4) // 4 > 3 free slots
+		for i := range qs {
+			qs[i] = boundRef(star, 3)
+		}
+		if _, err := pl.AdmitBatch(ctx, qs); !errors.Is(err, ErrSlotsExhausted) {
+			t.Fatalf("err = %v, want ErrSlotsExhausted", err)
+		}
+		if pl.InUse() != 1 {
+			t.Fatalf("InUse = %d after failed batch, want 1", pl.InUse())
+		}
+		if !sameKeys(slotKeys(pl.Store(0), held), before) {
+			t.Fatal("failed batch disturbed an admitted query")
+		}
+		// The held query published once per store; the failed batch must
+		// add nothing.
+		if st := pl.Stats(); st.BatchAdmits != 0 || st.SnapshotPublishes != 2 {
+			t.Fatalf("failed batch moved counters: %+v", st)
+		}
+		// The freed slots admit a fitting batch.
+		slots, err := pl.AdmitBatch(ctx, qs[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slots) != 3 || pl.InUse() != 4 {
+			t.Fatalf("slots=%v inuse=%d", slots, pl.InUse())
+		}
+	})
+}
+
+// TestAdmitBatchRollsBack covers the fallible half of AdmitBatch: a
+// canceled context or an injected admission fault must admit nothing.
+func TestAdmitBatchRollsBack(t *testing.T) {
+	star := miniStar(t, 20)
+	boom := errors.New("injected")
+	calls, failAt := 0, 3
+	pl := New(star, 2, Config{MaxConcurrent: 8, AdmitFault: func() error {
+		calls++
+		if calls == failAt {
+			return boom
+		}
+		return nil
+	}})
+	qs := []*query.Bound{boundRef(star, 2), boundRef(star, 3), boundRef(star, 4)}
+	if _, err := pl.AdmitBatch(context.Background(), qs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if pl.InUse() != 0 || pl.Store(0).Len() != 0 || pl.Store(0).RefCount() != 0 {
+		t.Fatalf("failed batch left state: inuse=%d len=%d refs=%d",
+			pl.InUse(), pl.Store(0).Len(), pl.Store(0).RefCount())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pl.AdmitBatch(ctx, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if pl.InUse() != 0 || pl.Store(0).Len() != 0 {
+		t.Fatal("canceled batch left state behind")
+	}
+	// The plane still works.
+	if _, err := pl.AdmitBatch(context.Background(), qs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchSavesPublications pins the tentpole's arithmetic: a K-query
+// batch costs one snapshot publication per store instead of K.
+func TestBatchSavesPublications(t *testing.T) {
+	star := miniStar(t, 20)
+	ctx := context.Background()
+	qs := make([]*query.Bound, 6)
+	for i := range qs {
+		qs[i] = boundRef(star, int64(1+i%3))
+	}
+
+	seq := New(star, 1, Config{MaxConcurrent: 16})
+	for _, q := range qs {
+		if _, err := seq.Admit(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := New(star, 1, Config{MaxConcurrent: 16})
+	if _, err := batched.AdmitBatch(ctx, qs); err != nil {
+		t.Fatal(err)
+	}
+
+	sp, bp := seq.Stats().SnapshotPublishes, batched.Stats().SnapshotPublishes
+	if want := int64(len(qs) * 2); sp != want { // 2 dims per query
+		t.Fatalf("sequential publishes = %d, want %d", sp, want)
+	}
+	if want := int64(2); bp != want { // one per store for the whole batch
+		t.Fatalf("batched publishes = %d, want %d", bp, want)
+	}
+	st := batched.Stats()
+	if st.BatchAdmits != 1 || st.BatchQueries != 6 {
+		t.Fatalf("batch counters: %+v", st)
+	}
+}
+
+// TestPredCacheHitsAndCounters: repeated predicates are served from the
+// cache (one heap scan per distinct predicate) and the hit/miss ledger
+// matches.
+func TestPredCacheHitsAndCounters(t *testing.T) {
+	star := miniStar(t, 20)
+	pl := New(star, 1, Config{MaxConcurrent: 16})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		// Structurally equal but distinct ASTs: the fingerprint, not
+		// pointer identity, must unify them.
+		if _, err := pl.Admit(ctx, boundRef(star, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pl.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 4 {
+		t.Fatalf("hits=%d misses=%d, want 4/1", st.CacheHits, st.CacheMisses)
+	}
+	if pl.cache.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", pl.cache.len())
+	}
+
+	// Disabled cache: every admission scans.
+	off := New(star, 1, Config{MaxConcurrent: 16, PredCacheSize: -1})
+	for i := 0; i < 3; i++ {
+		if _, err := off.Admit(ctx, boundRef(star, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := off.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("disabled cache counted: %+v", st)
+	}
+}
+
+// TestPredCacheInvalidation: results must never be served stale — a
+// dimension heap growing under the cached scan, a Detach (quarantine
+// reduces the plane's world), or an explicit invalidation all force a
+// re-scan.
+func TestPredCacheInvalidation(t *testing.T) {
+	star := miniStar(t, 10)
+	pl := New(star, 2, Config{MaxConcurrent: 16})
+	ctx := context.Background()
+
+	s0, err := pl.Admit(ctx, boundRef(star, 2)) // caches the v<2 scan
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := len(slotKeys(pl.Store(0), s0))
+
+	// The heap grows: key 100 with v=1 matches v<2. The geometry check
+	// must reject the cached rows and re-scan.
+	star.Dims[0].Heap.Append([]int64{100, 1})
+	s1, err := pl.Admit(ctx, boundRef(star, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := slotKeys(pl.Store(0), s1)
+	if len(keys) != base+1 || !keys[100] {
+		t.Fatalf("stale cache: new admission selected %d keys (want %d incl. key 100)", len(keys), base+1)
+	}
+
+	// Detach invalidates: the next resolution is a miss even though the
+	// fingerprint and geometry are unchanged.
+	misses := pl.Stats().CacheMisses
+	pl.Detach()
+	if _, err := pl.Admit(ctx, boundRef(star, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Stats().CacheMisses; got != misses+1 {
+		t.Fatalf("misses after Detach = %d, want %d", got, misses+1)
+	}
+
+	misses = pl.Stats().CacheMisses
+	pl.InvalidateCache()
+	if _, err := pl.Admit(ctx, boundRef(star, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Stats().CacheMisses; got != misses+1 {
+		t.Fatalf("misses after InvalidateCache = %d, want %d", got, misses+1)
+	}
+}
+
+// TestPredCacheEviction: the FIFO bound holds.
+func TestPredCacheEviction(t *testing.T) {
+	star := miniStar(t, 20)
+	pl := New(star, 1, Config{MaxConcurrent: 32, PredCacheSize: 2})
+	ctx := context.Background()
+	for x := int64(1); x <= 4; x++ {
+		if _, err := pl.Admit(ctx, boundRef(star, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pl.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", got)
+	}
+}
+
+// TestPredCacheChurnRace churns batch and single admissions (repeated
+// templates, so the cache is hot), retires, and invalidations from many
+// goroutines; under -race this proves the cache needs no coordination
+// with the slot ledger beyond its own mutex.
+func TestPredCacheChurnRace(t *testing.T) {
+	star := miniStar(t, 40)
+	pl := New(star, 2, Config{MaxConcurrent: 32, PredCacheSize: 4})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 150; i++ {
+				if w%2 == 0 {
+					qs := make([]*query.Bound, 1+rng.Intn(4))
+					for j := range qs {
+						qs[j] = boundRef(star, int64(1+rng.Intn(5)))
+					}
+					slots, err := pl.AdmitBatch(ctx, qs)
+					if errors.Is(err, ErrSlotsExhausted) {
+						continue
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, s := range slots {
+						pl.Retire(s)
+						pl.Retire(s)
+					}
+				} else {
+					slot, err := pl.Admit(ctx, boundRef(star, int64(1+rng.Intn(5))))
+					if errors.Is(err, ErrSlotsExhausted) {
+						continue
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					pl.Retire(slot)
+					pl.Retire(slot)
+				}
+				if i%17 == 0 {
+					pl.InvalidateCache()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pl.InUse() != 0 || pl.Store(0).Len() != 0 || pl.Store(0).RefCount() != 0 {
+		t.Fatalf("churn left inuse=%d len=%d refs=%d", pl.InUse(), pl.Store(0).Len(), pl.Store(0).RefCount())
+	}
+}
+
+// TestAdmitBatchEmptyAndSingle: degenerate batch shapes.
+func TestAdmitBatchEmptyAndSingle(t *testing.T) {
+	star := miniStar(t, 10)
+	pl := New(star, 1, Config{MaxConcurrent: 4})
+	slots, err := pl.AdmitBatch(context.Background(), nil)
+	if err != nil || slots != nil {
+		t.Fatalf("empty batch: %v %v", slots, err)
+	}
+	slots, err = pl.AdmitBatch(context.Background(), []*query.Bound{boundRef(star, 2)})
+	if err != nil || len(slots) != 1 {
+		t.Fatalf("single batch: %v %v", slots, err)
+	}
+	if st := pl.Stats(); st.BatchAdmits != 1 || st.BatchQueries != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}

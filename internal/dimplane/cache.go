@@ -1,0 +1,145 @@
+package dimplane
+
+import (
+	"sync"
+
+	"cjoin/internal/storage"
+)
+
+// DefaultPredCacheSize bounds the predicate-scan cache when
+// Config.PredCacheSize is zero. A dashboard fleet reuses a handful of
+// predicate templates per dimension; 128 distinct (dimension,
+// fingerprint) pairs is generous for that shape while bounding worst-
+// case retention to 128 row sets.
+const DefaultPredCacheSize = 128
+
+// predCache memoizes dimension predicate-scan results across
+// admissions, keyed by (dimension, canonical predicate fingerprint).
+// The cached value is the exact slice SelectRows would have returned:
+// copies of the selected heap rows, immutable once filled, so hits can
+// be shared by any number of concurrent admissions and by the stores
+// themselves.
+//
+// Correctness: a hit is only valid if the dimension heap is unchanged
+// since the fill. Two guards enforce that — an epoch counter bumped by
+// the plane on any event that could invalidate results wholesale
+// (prober Detach during quarantine, explicit InvalidateAll around
+// dimension updates), and the heap's (pages, rows) geometry captured at
+// fill time, which catches appends that grew the heap between fill and
+// lookup. Retire GC epochs touch only the *store* (bit clearing,
+// entry GC), never the dimension heap the scan reads, so slot churn
+// does not invalidate; Detach still does, per the plane's conservative
+// contract with the supervision tier.
+type predCache struct {
+	mu      sync.Mutex
+	cap     int
+	epoch   uint64
+	entries map[cacheKey]*cacheEntry
+	fifo    []cacheKey // insertion order, for bounded eviction
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	dim int
+	fp  uint64
+}
+
+type cacheEntry struct {
+	rows  [][]int64
+	epoch uint64
+	pages int
+	nrows int64
+}
+
+func newPredCache(capacity int) *predCache {
+	if capacity == 0 {
+		capacity = DefaultPredCacheSize
+	}
+	if capacity < 0 {
+		return nil // disabled; nil receiver no-ops below
+	}
+	return &predCache{cap: capacity, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// lookup returns the memoized scan result for (dim, fp) if it is still
+// valid against the heap's current geometry and the cache epoch.
+func (c *predCache) lookup(dim int, fp uint64, heap *storage.HeapFile) ([][]int64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey{dim, fp}]
+	if !ok || e.epoch != c.epoch || e.nrows != heap.NumRows() || e.pages != heap.NumPages() {
+		if ok {
+			// Stale under the current epoch/geometry: drop it now so the
+			// map doesn't accumulate dead generations.
+			c.deleteLocked(cacheKey{dim, fp})
+		}
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.rows, true
+}
+
+// store memoizes a freshly scanned result. The caller must not mutate
+// rows after handing them over.
+func (c *predCache) store(dim int, fp uint64, rows [][]int64, heap *storage.HeapFile) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{dim, fp}
+	if _, ok := c.entries[k]; !ok {
+		for len(c.fifo) >= c.cap {
+			c.deleteLocked(c.fifo[0])
+		}
+		c.fifo = append(c.fifo, k)
+	}
+	c.entries[k] = &cacheEntry{rows: rows, epoch: c.epoch, pages: heap.NumPages(), nrows: heap.NumRows()}
+}
+
+func (c *predCache) deleteLocked(k cacheKey) {
+	delete(c.entries, k)
+	for i, fk := range c.fifo {
+		if fk == k {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// invalidateAll bumps the epoch: every cached entry becomes stale at
+// its next lookup. O(1); stale entries are reaped lazily.
+func (c *predCache) invalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.epoch++
+	c.mu.Unlock()
+}
+
+// counters returns the lifetime hit/miss totals.
+func (c *predCache) counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// len returns the number of resident entries (tests).
+func (c *predCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -61,6 +61,11 @@ type Config struct {
 	// (cjoin_dimplane_*) with the telemetry plane; nil disables
 	// instrumentation.
 	Obs *obs.Registry
+	// PredCacheSize bounds the predicate-scan cache: the number of
+	// (dimension, predicate-fingerprint) scan results memoized across
+	// admissions. 0 selects DefaultPredCacheSize; negative disables
+	// caching (every admission re-scans, the pre-PR-8 behavior).
+	PredCacheSize int
 }
 
 // Plane owns the dimension state shared by every pipeline of one logical
@@ -80,10 +85,16 @@ type Plane struct {
 	ids     *bitvec.Allocator
 	stores  []Store
 	slots   []slotState
+	cache   *predCache // nil when PredCacheSize < 0
 
-	admits     atomic.Int64
-	admitNanos atomic.Int64
-	peakBytes  atomic.Int64
+	admits       atomic.Int64
+	admitNanos   atomic.Int64
+	peakBytes    atomic.Int64
+	publishes    atomic.Int64 // store version transitions (COW snapshot publications)
+	batchAdmits  atomic.Int64 // AdmitBatch rounds
+	batchQueries atomic.Int64 // queries admitted through AdmitBatch
+	cacheHits    atomic.Int64 // predicate scans skipped (shared cache or batch-local reuse)
+	cacheMisses  atomic.Int64 // cache-enabled resolutions that scanned the heap
 
 	om planeMetrics
 }
@@ -93,9 +104,13 @@ type Plane struct {
 type planeMetrics struct {
 	admit        *obs.Histogram
 	predScan     *obs.Histogram
+	batchSize    *obs.Histogram
 	admits       *obs.Counter
 	retires      *obs.Counter
 	finalRetires *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	publishes    *obs.Counter
 }
 
 func newPlaneMetrics(r *obs.Registry, pl *Plane) planeMetrics {
@@ -110,9 +125,18 @@ func newPlaneMetrics(r *obs.Registry, pl *Plane) planeMetrics {
 			"Wall time of the dimension half of admission (Algorithm 1), once per logical query."),
 		predScan: r.DurationHistogram("cjoin_dimplane_predicate_scan_seconds",
 			"Wall time evaluating one dimension predicate against its heap."),
+		batchSize: r.Histogram("cjoin_dimplane_admit_batch_size",
+			"Queries admitted per AdmitBatch round (one COW publication per store per round).",
+			obs.ExpBuckets(1, 2, 9), 1),
 		admits:       r.Counter("cjoin_dimplane_admits_total", "Successful admissions."),
 		retires:      r.Counter("cjoin_dimplane_retires_total", "Per-pipeline slot releases."),
 		finalRetires: r.Counter("cjoin_dimplane_final_retires_total", "Final retires that cleared bits, garbage-collected, and recycled the slot."),
+		cacheHits: r.Counter("cjoin_dimplane_cache_hits_total",
+			"Dimension predicate scans skipped because a memoized result was reused."),
+		cacheMisses: r.Counter("cjoin_dimplane_cache_misses_total",
+			"Cache-enabled predicate resolutions that had to scan the dimension heap."),
+		publishes: r.Counter("cjoin_dimplane_snapshot_publish_total",
+			"Dimension store version transitions (COW snapshot publications)."),
 	}
 }
 
@@ -156,6 +180,7 @@ func New(star *catalog.Star, probers int, cfg Config) *Plane {
 	for i := range pl.slots {
 		pl.slots[i].refs = make([]bool, len(star.Dims))
 	}
+	pl.cache = newPredCache(cfg.PredCacheSize)
 	pl.om = newPlaneMetrics(cfg.Obs, pl)
 	return pl
 }
@@ -181,7 +206,17 @@ func (pl *Plane) Detach() {
 	if pl.probers.Add(-1) < 1 {
 		panic("dimplane: detached the last prober")
 	}
+	// Conservative: a quarantine may reflect I/O trouble on the shared
+	// heaps; drop every memoized scan rather than reason about which
+	// dimension the failed pipeline touched.
+	pl.cache.invalidateAll()
 }
+
+// InvalidateCache drops every memoized predicate-scan result. Callers
+// that mutate a dimension heap outside the plane (update workloads)
+// must invalidate before the next admission; appends are additionally
+// caught by the cache's heap-geometry check.
+func (pl *Plane) InvalidateCache() { pl.cache.invalidateAll() }
 
 // NumDims returns the number of dimension stores.
 func (pl *Plane) NumDims() int { return len(pl.stores) }
@@ -240,14 +275,14 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 		err := ctx.Err()
 		if err == nil && q.DimRefs[i] {
 			var rows [][]int64
-			scanStart := time.Now()
-			rows, err = SelectRows(pl.star.Dims[i], q.DimPreds[i])
-			pl.om.predScan.ObserveSince(scanStart)
+			rows, err = pl.selectRowsCached(i, q.DimPreds[i])
 			if err == nil {
 				st.AdmitRef(slot, pl.star.KeyCol[i], rows)
+				pl.notePublish(1)
 			}
 		} else if err == nil {
 			st.AdmitNonRef(slot)
+			pl.notePublish(1)
 		}
 		if err != nil {
 			// Dimension i itself saw no successful Admit*, so it rolls
@@ -257,6 +292,7 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 				pl.stores[j].Remove(slot, q.DimRefs[j])
 			}
 			st.Remove(slot, false)
+			pl.notePublish(int64(i + 1))
 			pl.ids.Free(slot)
 			return -1, err
 		}
@@ -268,6 +304,152 @@ func (pl *Plane) Admit(ctx context.Context, q *query.Bound) (slot int, err error
 	pl.om.admit.ObserveSince(start)
 	pl.notePeak()
 	return slot, nil
+}
+
+// selectRowsCached resolves one dimension predicate, consulting the
+// predicate-scan cache first. A miss (or a disabled cache) scans the
+// heap and memoizes the result.
+func (pl *Plane) selectRowsCached(dim int, pred expr.Node) ([][]int64, error) {
+	var fp uint64
+	if pl.cache != nil {
+		fp = query.Fingerprint(pred)
+		if rows, ok := pl.cache.lookup(dim, fp, pl.star.Dims[dim].Heap); ok {
+			pl.cacheHits.Add(1)
+			pl.om.cacheHits.Inc()
+			return rows, nil
+		}
+	}
+	scanStart := time.Now()
+	rows, err := SelectRows(pl.star.Dims[dim], pred)
+	pl.om.predScan.ObserveSince(scanStart)
+	if err != nil {
+		return nil, err
+	}
+	if pl.cache != nil {
+		pl.cacheMisses.Add(1)
+		pl.om.cacheMisses.Inc()
+		pl.cache.store(dim, fp, rows, pl.star.Dims[dim].Heap)
+	}
+	return rows, nil
+}
+
+// notePublish counts store version transitions — each CowStore write
+// (Admit*, AdmitBatch, Remove) publishes exactly one COW snapshot, so
+// the counter makes the batch path's one-publication-per-store claim
+// directly observable next to the per-query path's one-per-query.
+func (pl *Plane) notePublish(n int64) {
+	pl.publishes.Add(n)
+	if pl.om.publishes != nil {
+		pl.om.publishes.Add(n)
+	}
+}
+
+// AdmitBatch runs the dimension half of Algorithm 1 for K queries in
+// one plane round. Compared with K sequential Admits it saves twice:
+// each distinct dimension predicate (by canonical fingerprint) is
+// evaluated once for the whole batch — and not at all on a cache hit —
+// and each dimension store publishes ONE copy-on-write snapshot
+// carrying all K bit-tags instead of K.
+//
+// The batch is all-or-nothing: any failure (slot exhaustion, fault
+// injection, context cancellation, scan error) occurs before any store
+// is touched, so the rollback is simply freeing the allocated slots and
+// the error return means "nothing was admitted". Callers that want
+// partial progress fall back to per-query Admit.
+//
+// The returned slice maps qs[i] to its slot. As with Admit, each slot
+// expects Probers() Retires.
+func (pl *Plane) AdmitBatch(ctx context.Context, qs []*query.Bound) ([]int, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	slots := make([]int, len(qs))
+	for i := range qs {
+		s, ok := pl.ids.Alloc()
+		if !ok {
+			for j := 0; j < i; j++ {
+				pl.ids.Free(slots[j])
+			}
+			return nil, ErrSlotsExhausted
+		}
+		slots[i] = s
+	}
+	fail := func(err error) ([]int, error) {
+		for _, s := range slots {
+			pl.ids.Free(s)
+		}
+		return nil, err
+	}
+	if pl.cfg.AdmitFault != nil {
+		// One consultation per query keeps injected fault rates
+		// comparable with the per-query path.
+		for range qs {
+			if err := pl.cfg.AdmitFault(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// Phase 1 — resolve: evaluate each distinct (dimension, predicate)
+	// once, building the per-store install lists. Purely in-memory and
+	// fallible; no shared state has been touched if we bail here.
+	installs := make([][]Install, len(pl.stores))
+	for i := range pl.stores {
+		// Batch-local memo: even with the shared cache disabled, K
+		// queries reusing one template scan once per batch.
+		local := make(map[uint64][][]int64)
+		for k, q := range qs {
+			if err := ctx.Err(); err != nil {
+				return fail(err)
+			}
+			if !q.DimRefs[i] {
+				installs[i] = append(installs[i], Install{Slot: slots[k]})
+				continue
+			}
+			fp := query.Fingerprint(q.DimPreds[i])
+			rows, ok := local[fp]
+			if ok {
+				pl.cacheHits.Add(1)
+				pl.om.cacheHits.Inc()
+			} else {
+				var err error
+				rows, err = pl.selectRowsCached(i, q.DimPreds[i])
+				if err != nil {
+					return fail(err)
+				}
+				local[fp] = rows
+			}
+			installs[i] = append(installs[i], Install{
+				Slot: slots[k], Ref: true, KeyCol: pl.star.KeyCol[i], Rows: rows,
+			})
+		}
+	}
+
+	// Phase 2 — install: one store write (one snapshot publication) per
+	// dimension for the whole batch. Store writes are infallible, so
+	// past this point the batch cannot partially fail.
+	for k, q := range qs {
+		copy(pl.slots[slots[k]].refs, q.DimRefs)
+	}
+	for i, st := range pl.stores {
+		st.AdmitBatch(installs[i])
+		pl.notePublish(1)
+	}
+	for k := range qs {
+		pl.slots[slots[k]].remain.Store(pl.probers.Load())
+	}
+
+	n := int64(len(qs))
+	pl.admits.Add(n)
+	pl.admitNanos.Add(time.Since(start).Nanoseconds())
+	pl.batchAdmits.Add(1)
+	pl.batchQueries.Add(n)
+	pl.om.admits.Add(n)
+	pl.om.batchSize.Observe(n)
+	pl.om.admit.ObserveSince(start)
+	pl.notePeak()
+	return slots, nil
 }
 
 // Retire releases one pipeline's hold on an admitted slot. The last of
@@ -292,6 +474,7 @@ func (pl *Plane) Retire(slot int) (final bool) {
 	for i, st := range pl.stores {
 		st.Remove(slot, ss.refs[i])
 	}
+	pl.notePublish(int64(len(pl.stores)))
 	pl.ids.Free(slot)
 	pl.om.finalRetires.Inc()
 	return true
@@ -308,6 +491,7 @@ func (pl *Plane) Abort(slot int) {
 	for i, st := range pl.stores {
 		st.Remove(slot, ss.refs[i])
 	}
+	pl.notePublish(int64(len(pl.stores)))
 	pl.ids.Free(slot)
 }
 
@@ -370,16 +554,37 @@ type Stats struct {
 	InUse int
 	// Probers is the number of pipelines sharing the plane.
 	Probers int
+	// CacheHits / CacheMisses count predicate resolutions served from
+	// the scan cache vs resolved by scanning the dimension heap
+	// (batch-local template reuse counts as a hit: the scan was
+	// skipped). Both zero when the cache is disabled.
+	CacheHits   int64
+	CacheMisses int64
+	// SnapshotPublishes counts dimension store version transitions —
+	// one COW snapshot publication per CowStore write. The batch path's
+	// saving shows up here directly: K queries cost NumDims
+	// publications instead of K*NumDims.
+	SnapshotPublishes int64
+	// BatchAdmits / BatchQueries count AdmitBatch rounds and the
+	// queries admitted through them; their ratio is the mean batch size.
+	BatchAdmits  int64
+	BatchQueries int64
 }
 
 // Stats snapshots the plane counters.
 func (pl *Plane) Stats() Stats {
+	hits, misses := pl.cacheHits.Load(), pl.cacheMisses.Load()
 	return Stats{
-		Admits:       pl.admits.Load(),
-		AdmitNanos:   pl.admitNanos.Load(),
-		MemBytes:     pl.MemBytes(),
-		PeakMemBytes: pl.peakBytes.Load(),
-		InUse:        pl.ids.InUse(),
-		Probers:      int(pl.probers.Load()),
+		Admits:            pl.admits.Load(),
+		AdmitNanos:        pl.admitNanos.Load(),
+		MemBytes:          pl.MemBytes(),
+		PeakMemBytes:      pl.peakBytes.Load(),
+		InUse:             pl.ids.InUse(),
+		Probers:           int(pl.probers.Load()),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		SnapshotPublishes: pl.publishes.Load(),
+		BatchAdmits:       pl.batchAdmits.Load(),
+		BatchQueries:      pl.batchQueries.Load(),
 	}
 }

@@ -36,6 +36,13 @@ type Store interface {
 	// AdmitRef installs the rows selected by the query's dimension
 	// predicate and sets bit slot on each (Algorithm 1).
 	AdmitRef(slot, keyCol int, rows [][]int64)
+	// AdmitBatch installs K queries' tags in one version transition:
+	// the CowStore pays a single snapshot publication for the whole
+	// batch where the per-query path pays K. Non-referencing installs
+	// are applied before referencing ones so entries upserted by the
+	// batch inherit every batchmate's non-ref bit via b_Dj, exactly as
+	// sequential admission would have left them.
+	AdmitBatch(installs []Install)
 	// Remove clears bit slot everywhere and garbage-collects entries
 	// selected by no remaining referencing query (Algorithm 2). It
 	// reports whether the table emptied.
@@ -82,6 +89,45 @@ func (c *CowStore) AdmitRef(slot, keyCol int, rows [][]int64) {
 		b.AddRef()
 		for _, row := range rows {
 			b.Upsert(row[keyCol], row).Set(slot)
+		}
+	})
+}
+
+// Install is one query's contribution to an AdmitBatch on one
+// dimension: either a non-referencing tag (Ref false) or the rows its
+// predicate selected (Ref true). Rows may be shared with the plane's
+// predicate cache and with other slots in the batch; stores must treat
+// them as immutable.
+type Install struct {
+	Slot   int
+	Ref    bool
+	KeyCol int       // key column index; meaningful when Ref
+	Rows   [][]int64 // selected rows; meaningful when Ref
+}
+
+func (c *CowStore) AdmitBatch(installs []Install) {
+	c.t.Update(func(b *dimht.Builder) {
+		// Phase 1: all non-referencing slots — K mask bits, then ONE
+		// arena sweep ORs the whole batch's tags into existing entries.
+		mask := make(bitvec.Vec, len(b.Mask()))
+		for _, ins := range installs {
+			if !ins.Ref {
+				b.SetMaskBit(ins.Slot)
+				mask.Set(ins.Slot)
+			}
+		}
+		b.SetBitsAll(mask)
+		// Phase 2: referencing slots. New entries copy b_Dj, which now
+		// carries every batchmate's non-ref bit, so ordering within the
+		// batch cannot be observed by probers.
+		for _, ins := range installs {
+			if !ins.Ref {
+				continue
+			}
+			b.AddRef()
+			for _, row := range ins.Rows {
+				b.Upsert(row[ins.KeyCol], row).Set(ins.Slot)
+			}
 		}
 	})
 }
@@ -208,6 +254,35 @@ func (m *MapStore) AdmitRef(slot, keyCol int, rows [][]int64) {
 		e.BV.Set(slot)
 	}
 	m.mu.Unlock()
+}
+
+func (m *MapStore) AdmitBatch(installs []Install) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ins := range installs {
+		if ins.Ref {
+			continue
+		}
+		m.bDj.Set(ins.Slot)
+		for _, e := range m.ht {
+			e.BV.Set(ins.Slot)
+		}
+	}
+	for _, ins := range installs {
+		if !ins.Ref {
+			continue
+		}
+		m.refs++
+		for _, row := range ins.Rows {
+			key := row[ins.KeyCol]
+			e, ok := m.ht[key]
+			if !ok {
+				e = &MapEntry{Row: row, BV: m.bDj.Clone()}
+				m.ht[key] = e
+			}
+			e.BV.Set(ins.Slot)
+		}
+	}
 }
 
 func (m *MapStore) Remove(slot int, referenced bool) (emptied bool) {

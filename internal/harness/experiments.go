@@ -1,14 +1,18 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"cjoin/internal/core"
+	"cjoin/internal/dimplane"
 	"cjoin/internal/engine"
 	"cjoin/internal/obs"
+	"cjoin/internal/query"
 )
 
 // Figure is one reproduced figure or table: named series over a shared
@@ -370,6 +374,13 @@ func RunTable3(cfg Config, sfs []int, n int) (Figure, error) {
 // dim-table memory both grew ×N; with admit-once both should stay
 // roughly flat in shard count. Runs on an in-memory device unless a disk
 // is modeled explicitly, for the same reason as RunShardScale.
+//
+// The figure additionally prices the batch-admission fast path: a
+// repeated-template admission storm driven straight at a standalone
+// plane — per-query Admit with the predicate cache disabled (the
+// pre-batching behavior) versus AdmitBatch in rounds of
+// admitBenchBatch with the cache on — reporting admitted queries/sec
+// for both, the speedup, the cache hit ratio, and the mean batch size.
 func RunDimAdmit(cfg Config, shards []int, n int) (Figure, error) {
 	if !cfg.Disk.Enabled() {
 		cfg.MemDisk = true
@@ -384,14 +395,19 @@ func RunDimAdmit(cfg Config, shards []int, n int) (Figure, error) {
 	}
 	fig := Figure{
 		ID:     "dimadmit",
-		Title:  fmt.Sprintf("Dimension plane: admission cost and resident bytes vs shard count (%d-query closed loop)", n),
+		Title:  fmt.Sprintf("Dimension plane: admission cost, batch/cache throughput, resident bytes vs shard count (%d-query closed loop)", n),
 		XLabel: "shards",
-		YLabel: "µs per admission, bytes",
+		YLabel: "µs per admission, admitted q/s, bytes",
 	}
 	sub := Series{Name: "submission (µs/query)"}
 	admit := Series{Name: "plane admit (µs/query)"}
 	bytesS := Series{Name: "plane peak bytes"}
 	admits := Series{Name: "plane admissions"}
+	perQ := Series{Name: "per-query admit (q/s, cache off)"}
+	batched := Series{Name: "batched admit (q/s, cache on)"}
+	speedup := Series{Name: "batch speedup (×)"}
+	hitRatio := Series{Name: "cache hit ratio"}
+	meanBatch := Series{Name: "mean batch size"}
 	for _, ns := range shards {
 		ecfg := cfg
 		ecfg.Shards = ns
@@ -407,14 +423,137 @@ func RunDimAdmit(cfg Config, shards []int, n int) (Figure, error) {
 		if st.DimAdmits > 0 {
 			admitMicros = float64(st.DimAdmitNanos) / float64(st.DimAdmits) / 1e3
 		}
+		ab, err := env.admitThroughput(ns)
+		if err != nil {
+			return fig, fmt.Errorf("shards=%d admit bench: %w", ns, err)
+		}
 		fig.X = append(fig.X, float64(ns))
 		sub.Y = append(sub.Y, float64(m.Submission.Microseconds()))
 		admit.Y = append(admit.Y, admitMicros)
 		bytesS.Y = append(bytesS.Y, float64(st.PlanePeakBytes))
 		admits.Y = append(admits.Y, float64(st.DimAdmits))
+		perQ.Y = append(perQ.Y, ab.perQueryQPS)
+		batched.Y = append(batched.Y, ab.batchedQPS)
+		var x float64
+		if ab.perQueryQPS > 0 {
+			x = ab.batchedQPS / ab.perQueryQPS
+		}
+		speedup.Y = append(speedup.Y, x)
+		hitRatio.Y = append(hitRatio.Y, ab.hitRatio)
+		meanBatch.Y = append(meanBatch.Y, ab.meanBatch)
 	}
-	fig.Series = []Series{sub, admit, bytesS, admits}
+	fig.Series = []Series{sub, admit, bytesS, admits, perQ, batched, speedup, hitRatio, meanBatch}
 	return fig, nil
+}
+
+// Admission-storm shape: admitBenchDistinct templates cycle through the
+// storm (a dashboard-style workload where predicate text repeats), each
+// round fills every slot before retiring them all, and the batched
+// variant drains admitBenchBatch queries per AdmitBatch round — the
+// admission queue's drain bound in cmd/cjoind's -admit-batch default.
+const (
+	admitBenchDistinct = 8
+	admitBenchBatch    = 16
+	admitBenchRounds   = 4
+)
+
+// admitBench is one admitThroughput measurement.
+type admitBench struct {
+	perQueryQPS float64 // one-at-a-time Admit, predicate cache disabled
+	batchedQPS  float64 // AdmitBatch rounds, predicate cache enabled
+	hitRatio    float64 // cache hits / resolutions on the batched plane
+	meanBatch   float64 // queries per AdmitBatch round observed
+}
+
+// admitThroughput measures pure admission throughput of the dimension
+// plane under a repeated-template storm: only Admit/AdmitBatch wall
+// time is on the clock (slot retirement between rounds is not — the
+// quantity under test is Algorithm 1's dimension half, which batching
+// and caching amortize). The plane is built with the given prober count
+// so the slot ledger matches the sharded topology being swept.
+func (e *Env) admitThroughput(probers int) (admitBench, error) {
+	work, err := e.buildWork(1, "")
+	if err != nil {
+		return admitBench{}, err
+	}
+	if len(work) < admitBenchDistinct {
+		return admitBench{}, fmt.Errorf("harness: %d bound queries, need %d", len(work), admitBenchDistinct)
+	}
+	work = work[:admitBenchDistinct]
+	mc := e.Cfg.MaxConcurrent
+	ctx := context.Background()
+	star := e.Dataset.Star
+
+	retireAll := func(pl *dimplane.Plane, slots []int) {
+		for _, s := range slots {
+			for p := 0; p < probers; p++ {
+				pl.Retire(s)
+			}
+		}
+	}
+
+	var b admitBench
+	// Baseline: the pre-batching path — one Admit per query, every
+	// admission re-scans its dimension predicates.
+	base := dimplane.New(star, probers, dimplane.Config{MaxConcurrent: mc, PredCacheSize: -1})
+	var dur time.Duration
+	total := 0
+	for r := 0; r < admitBenchRounds; r++ {
+		slots := make([]int, 0, mc)
+		t0 := time.Now()
+		for j := 0; j < mc; j++ {
+			s, err := base.Admit(ctx, work[j%admitBenchDistinct].bound)
+			if err != nil {
+				return b, err
+			}
+			slots = append(slots, s)
+		}
+		dur += time.Since(t0)
+		total += len(slots)
+		retireAll(base, slots)
+	}
+	if dur > 0 {
+		b.perQueryQPS = float64(total) / dur.Seconds()
+	}
+
+	// Batched: AdmitBatch in rounds of admitBenchBatch with the
+	// predicate-scan cache on — one snapshot publication per store per
+	// round, repeated templates resolved from the cache.
+	pl := dimplane.New(star, probers, dimplane.Config{MaxConcurrent: mc, PredCacheSize: 0})
+	dur, total = 0, 0
+	for r := 0; r < admitBenchRounds; r++ {
+		slots := make([]int, 0, mc)
+		t0 := time.Now()
+		for j := 0; j < mc; j += admitBenchBatch {
+			k := admitBenchBatch
+			if j+k > mc {
+				k = mc - j
+			}
+			qs := make([]*query.Bound, k)
+			for i := range qs {
+				qs[i] = work[(j+i)%admitBenchDistinct].bound
+			}
+			ss, err := pl.AdmitBatch(ctx, qs)
+			if err != nil {
+				return b, err
+			}
+			slots = append(slots, ss...)
+		}
+		dur += time.Since(t0)
+		total += len(slots)
+		retireAll(pl, slots)
+	}
+	if dur > 0 {
+		b.batchedQPS = float64(total) / dur.Seconds()
+	}
+	st := pl.Stats()
+	if res := st.CacheHits + st.CacheMisses; res > 0 {
+		b.hitRatio = float64(st.CacheHits) / float64(res)
+	}
+	if st.BatchAdmits > 0 {
+		b.meanBatch = float64(st.BatchQueries) / float64(st.BatchAdmits)
+	}
+	return b, nil
 }
 
 // dealableShards drops shard counts a partitioned star cannot run

@@ -1,0 +1,122 @@
+// Predicate fingerprinting for the dimension plane's scan cache.
+//
+// A fingerprint is a stable 64-bit hash of a predicate's *canonical*
+// form: two predicates that are syntactically different but trivially
+// equivalent — operand order of a commutative operator, IN-list order,
+// a string literal vs its dictionary code — hash identically, so a
+// repeated dashboard template hits the cache no matter how the client
+// phrased it this time. Canonicalization is purely structural (no
+// algebraic rewriting): Cols are keyed by (slot, index) rather than
+// name, Consts by value only, commutative operands are sorted by their
+// serialized form, and IN sets are order-insensitive.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cjoin/internal/expr"
+)
+
+// Fingerprint returns a stable 64-bit hash of pred's canonical form.
+// Equal fingerprints are intended to mean "same selection"; unequal
+// fingerprints carry no meaning beyond a cache miss. The hash is
+// FNV-1a over the canonical serialization, fixed across processes and
+// runs so fingerprints can appear in traces and logs.
+func Fingerprint(pred expr.Node) uint64 {
+	var sb strings.Builder
+	canonicalize(&sb, pred)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(sb.String()) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// CanonicalPredicate returns the canonical serialization itself —
+// diagnostics and tests; the cache keys on Fingerprint.
+func CanonicalPredicate(pred expr.Node) string {
+	var sb strings.Builder
+	canonicalize(&sb, pred)
+	return sb.String()
+}
+
+// commutative reports whether operand order is semantically irrelevant
+// for op. AND/OR are commutative for *selection* purposes: both sides
+// are evaluated over the same row and the result is order-independent
+// (short-circuiting only skips work, never changes the outcome, since
+// expression evaluation here is total and side-effect-free).
+func commutative(op expr.Op) bool {
+	switch op {
+	case expr.Add, expr.Mul, expr.Eq, expr.Ne, expr.And, expr.Or:
+		return true
+	}
+	return false
+}
+
+func canonicalize(sb *strings.Builder, n expr.Node) {
+	switch e := n.(type) {
+	case expr.Col:
+		// Name is diagnostic only; (slot, idx) is the identity.
+		sb.WriteString("c")
+		sb.WriteString(strconv.Itoa(e.Slot))
+		sb.WriteString(",")
+		sb.WriteString(strconv.Itoa(e.Idx))
+	case expr.Const:
+		// Str is the pre-dictionary literal; V is what Eval returns.
+		sb.WriteString("k")
+		sb.WriteString(strconv.FormatInt(e.V, 10))
+	case expr.Bin:
+		l, r := canonicalString(e.L), canonicalString(e.R)
+		if commutative(e.Op) && r < l {
+			l, r = r, l
+		}
+		sb.WriteString("b")
+		sb.WriteString(strconv.Itoa(int(e.Op)))
+		sb.WriteString("(")
+		sb.WriteString(l)
+		sb.WriteString(";")
+		sb.WriteString(r)
+		sb.WriteString(")")
+	case expr.Not:
+		sb.WriteString("n(")
+		canonicalize(sb, e.X)
+		sb.WriteString(")")
+	case *expr.In:
+		vals := make([]int64, len(e.Vals))
+		copy(vals, e.Vals)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		sb.WriteString("i(")
+		canonicalize(sb, e.X)
+		sb.WriteString(":")
+		var last int64
+		for i, v := range vals {
+			if i > 0 {
+				if v == last {
+					continue // duplicates don't change membership
+				}
+				sb.WriteString(",")
+			}
+			sb.WriteString(strconv.FormatInt(v, 10))
+			last = v
+		}
+		sb.WriteString(")")
+	default:
+		// Unknown node kinds fall back to their String form. Still
+		// deterministic, just not normalized across phrasings.
+		fmt.Fprintf(sb, "x(%s)", n)
+	}
+}
+
+func canonicalString(n expr.Node) string {
+	var sb strings.Builder
+	canonicalize(&sb, n)
+	return sb.String()
+}

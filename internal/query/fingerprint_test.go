@@ -1,0 +1,99 @@
+package query
+
+import (
+	"testing"
+
+	"cjoin/internal/expr"
+)
+
+func col(slot, idx int, name string) expr.Col { return expr.Col{Slot: slot, Idx: idx, Name: name} }
+
+func TestFingerprintStable(t *testing.T) {
+	p := expr.Bin{Op: expr.Eq, L: col(0, 4, "d_year"), R: expr.Const{V: 1993}}
+	a, b := Fingerprint(p), Fingerprint(p)
+	if a != b {
+		t.Fatalf("same node hashed differently: %x vs %x", a, b)
+	}
+}
+
+func TestFingerprintCommutativeOrder(t *testing.T) {
+	x, y := col(0, 1, "a"), col(0, 2, "b")
+	cases := []struct{ l, r expr.Node }{
+		{expr.Bin{Op: expr.Eq, L: x, R: y}, expr.Bin{Op: expr.Eq, L: y, R: x}},
+		{expr.Bin{Op: expr.And, L: x, R: y}, expr.Bin{Op: expr.And, L: y, R: x}},
+		{expr.Bin{Op: expr.Or, L: x, R: y}, expr.Bin{Op: expr.Or, L: y, R: x}},
+		{expr.Bin{Op: expr.Add, L: x, R: y}, expr.Bin{Op: expr.Add, L: y, R: x}},
+	}
+	for i, c := range cases {
+		if Fingerprint(c.l) != Fingerprint(c.r) {
+			t.Errorf("case %d: commutative flip changed fingerprint:\n %s\n %s",
+				i, CanonicalPredicate(c.l), CanonicalPredicate(c.r))
+		}
+	}
+}
+
+func TestFingerprintNonCommutativeOrder(t *testing.T) {
+	x, y := col(0, 1, "a"), col(0, 2, "b")
+	l := expr.Bin{Op: expr.Lt, L: x, R: y}
+	r := expr.Bin{Op: expr.Lt, L: y, R: x}
+	if Fingerprint(l) == Fingerprint(r) {
+		t.Fatalf("a<b and b<a must not collide by construction")
+	}
+}
+
+func TestFingerprintColByPosition(t *testing.T) {
+	// Same (slot, idx) under different diagnostic names is the same column.
+	a := expr.Bin{Op: expr.Eq, L: col(0, 3, "d_month"), R: expr.Const{V: 7}}
+	b := expr.Bin{Op: expr.Eq, L: col(0, 3, "renamed"), R: expr.Const{V: 7}}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("column diagnostic name leaked into the fingerprint")
+	}
+	// Different idx must differ.
+	c := expr.Bin{Op: expr.Eq, L: col(0, 4, "d_month"), R: expr.Const{V: 7}}
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatalf("distinct columns collided")
+	}
+}
+
+func TestFingerprintConstByValue(t *testing.T) {
+	// A dictionary-encoded string literal and its raw code are the same value.
+	a := expr.Bin{Op: expr.Eq, L: col(0, 2, "s"), R: expr.Const{V: 42, Str: "ASIA"}}
+	b := expr.Bin{Op: expr.Eq, L: col(0, 2, "s"), R: expr.Const{V: 42}}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("Const.Str leaked into the fingerprint")
+	}
+}
+
+func TestFingerprintInSetNormalized(t *testing.T) {
+	x := col(0, 1, "k")
+	a := expr.NewIn(x, []int64{3, 1, 2})
+	b := expr.NewIn(x, []int64{1, 2, 3})
+	c := expr.NewIn(x, []int64{2, 1, 3, 2, 2})
+	if Fingerprint(a) != Fingerprint(b) || Fingerprint(b) != Fingerprint(c) {
+		t.Fatalf("IN list order/duplicates changed fingerprint:\n %s\n %s\n %s",
+			CanonicalPredicate(a), CanonicalPredicate(b), CanonicalPredicate(c))
+	}
+	d := expr.NewIn(x, []int64{1, 2})
+	if Fingerprint(a) == Fingerprint(d) {
+		t.Fatalf("distinct IN sets collided")
+	}
+}
+
+func TestFingerprintNestedCanonical(t *testing.T) {
+	// (B AND A) vs (A AND B) with composite operands.
+	a := expr.Between(col(0, 4, "y"), 1992, 1994)
+	b := expr.Bin{Op: expr.Eq, L: col(0, 5, "m"), R: expr.Const{V: 12}}
+	l := expr.Bin{Op: expr.And, L: a, R: b}
+	r := expr.Bin{Op: expr.And, L: b, R: a}
+	if Fingerprint(l) != Fingerprint(r) {
+		t.Fatalf("nested commutative flip changed fingerprint")
+	}
+}
+
+func TestFingerprintTrueDistinct(t *testing.T) {
+	// TRUE (no predicate) must not collide with a real selection.
+	p := expr.Bin{Op: expr.Eq, L: col(0, 4, "y"), R: expr.Const{V: 1}}
+	if Fingerprint(expr.TRUE) == Fingerprint(p) {
+		t.Fatalf("TRUE collided with a selection")
+	}
+}

@@ -515,6 +515,12 @@ func wireStats(ps core.Stats) PipelineStats {
 		PlaneBytes:     ps.PlaneBytes,
 		PlanePeakBytes: ps.PlanePeakBytes,
 		PlanePipelines: ps.PlanePipelines,
+
+		PlaneCacheHits:    ps.PlaneCacheHits,
+		PlaneCacheMisses:  ps.PlaneCacheMisses,
+		PlanePublishes:    ps.PlanePublishes,
+		PlaneBatchAdmits:  ps.PlaneBatchAdmits,
+		PlaneBatchQueries: ps.PlaneBatchQueries,
 	}
 	if !ps.CollectedAt.IsZero() {
 		out.CollectedAtUnixMillis = ps.CollectedAt.UnixMilli()

@@ -142,6 +142,18 @@ type PipelineStats struct {
 	PlanePeakBytes int64 `json:"plane_peak_bytes,omitempty"`
 	PlanePipelines int   `json:"plane_pipelines,omitempty"`
 
+	// Batch-admission and predicate-scan-cache figures (PR 8): hits
+	// count dimension predicate scans skipped via the memoized scan
+	// cache (or batch-local template reuse), publishes count dimension
+	// store COW snapshot publications — the quantity batching amortizes
+	// (K queries per batch cost one publication per store instead of K),
+	// and batch_admits/batch_queries give the realized batch-size mean.
+	PlaneCacheHits    int64 `json:"plane_cache_hits,omitempty"`
+	PlaneCacheMisses  int64 `json:"plane_cache_misses,omitempty"`
+	PlanePublishes    int64 `json:"plane_snapshot_publishes,omitempty"`
+	PlaneBatchAdmits  int64 `json:"plane_batch_admits,omitempty"`
+	PlaneBatchQueries int64 `json:"plane_batch_queries,omitempty"`
+
 	// Partitions is the number of §5 range partitions behind this entry:
 	// on the merged pipeline entry, the star's partition count; on a
 	// per-shard entry of a partition-dealt group, the partitions dealt to

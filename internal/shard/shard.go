@@ -228,7 +228,10 @@ func newGroupMetrics(r *obs.Registry, n int) groupMetrics {
 	return gm
 }
 
-var _ core.Executor = (*Group)(nil)
+var (
+	_ core.Executor       = (*Group)(nil)
+	_ core.BatchSubmitter = (*Group)(nil)
+)
 
 // New builds a Group of cfg.Shards pipelines over the star schema. Call
 // Start before Submit.
@@ -286,6 +289,7 @@ func New(star *catalog.Star, cfg Config) (*Group, error) {
 		MaxConcurrent: norm.MaxConcurrent,
 		LegacyMap:     norm.LegacyMapFilter,
 		Obs:           cfg.Obs,
+		PredCacheSize: norm.PredCacheSize,
 	}
 	// Chaos fires inside per-shard injectors; give the derived injectors
 	// the group registry so fired faults are observable. The spec is
@@ -458,14 +462,35 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		}
 		return nil, err
 	}
+	h, err := g.activateAdmittedLocked(ctx, q, slot, start)
+	g.supLock.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled during the installation stall after every shard
+		// accepted: abort the admission cleanly, as the single-pipeline
+		// path does — every shard retires through the cancel lifecycle.
+		h.Cancel()
+		return nil, err
+	}
+	return h, nil
+}
 
+// activateAdmittedLocked fans one plane-admitted query out to every
+// healthy shard and returns its merged handle. The caller holds the
+// supervision read lock across the plane admission AND this call, so
+// quarantine (which changes the number of retires a slot expects)
+// cannot land between them; both SubmitCtx and SubmitBatch build on it.
+// On error the slot has been fully released (Abort, compensating
+// Retires, or the cancel lifecycle) — the caller only reports.
+func (g *Group) activateAdmittedLocked(ctx context.Context, q *query.Bound, slot int, start time.Time) (*groupHandle, error) {
 	// Degraded mode: accept only queries the survivors can answer
 	// exactly. Infeasible ones abort the admission they just made and
 	// fail fast with the typed, retryable shard error.
 	if ok, dead := g.feasibleLocked(q, slot); !ok {
 		cause := g.failed[dead]
 		g.plane.Abort(slot)
-		g.supLock.RUnlock()
 		g.om.degradedRejects.Inc()
 		return nil, &ShardFailedError{Shard: dead, Cause: cause}
 	}
@@ -495,7 +520,6 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		}(j, i)
 	}
 	wg.Wait()
-	g.supLock.RUnlock()
 	if fi := firstErrorIdx(errs); fi >= 0 {
 		// Partial activation: rolling back is one-plane bookkeeping.
 		// Activated shards retire their hold through the normal cancel
@@ -531,14 +555,55 @@ func (g *Group) SubmitCtx(ctx context.Context, q *query.Bound) (core.Handle, err
 		done:       make(chan struct{}),
 	}
 	go h.gather()
-	if err := ctx.Err(); err != nil {
-		// Canceled during the installation stall after every shard
-		// accepted: abort the admission cleanly, as the single-pipeline
-		// path does — every shard retires through the cancel lifecycle.
-		h.Cancel()
-		return nil, err
-	}
 	return h, nil
+}
+
+// SubmitBatch admits K queries in one shared-plane round and fans each
+// out to the healthy shards, all under one hold of the supervision
+// read lock — the batch counterpart of SubmitCtx with identical
+// quarantine-safety. A whole-batch failure (slot exhaustion, scan
+// error, all shards down) admits nothing and returns err; per-query
+// activation failures land in errs. See core.BatchSubmitter.
+func (g *Group) SubmitBatch(ctx context.Context, qs []*query.Bound) ([]core.Handle, []error, error) {
+	if len(g.pipes) == 1 {
+		return g.pipes[0].SubmitBatch(ctx, qs)
+	}
+	start := time.Now()
+	g.supLock.RLock()
+	if g.nFailed == len(g.pipes) {
+		dead := g.firstFailedLocked()
+		cause := g.failed[dead]
+		g.supLock.RUnlock()
+		g.om.degradedRejects.Inc()
+		return nil, nil, &ShardFailedError{Shard: -1, Cause: cause}
+	}
+	slots, err := g.plane.AdmitBatch(ctx, qs)
+	if err != nil {
+		g.supLock.RUnlock()
+		if errors.Is(err, dimplane.ErrSlotsExhausted) {
+			return nil, nil, core.ErrTooManyQueries
+		}
+		return nil, nil, err
+	}
+	handles := make([]core.Handle, len(qs))
+	errs := make([]error, len(qs))
+	for i, q := range qs {
+		var h *groupHandle
+		h, errs[i] = g.activateAdmittedLocked(ctx, q, slots[i], start)
+		if errs[i] == nil {
+			handles[i] = h
+		}
+	}
+	g.supLock.RUnlock()
+	if cerr := ctx.Err(); cerr != nil {
+		for i, h := range handles {
+			if h != nil {
+				h.Cancel()
+				handles[i], errs[i] = nil, cerr
+			}
+		}
+	}
+	return handles, errs, nil
 }
 
 // firstErrorIdx returns the index of the first non-nil error, -1 if
@@ -606,6 +671,11 @@ func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
 	out.PlaneBytes = ps.MemBytes
 	out.PlanePeakBytes = ps.PeakMemBytes
 	out.PlanePipelines = ps.Probers
+	out.PlaneCacheHits = ps.CacheHits
+	out.PlaneCacheMisses = ps.CacheMisses
+	out.PlanePublishes = ps.SnapshotPublishes
+	out.PlaneBatchAdmits = ps.BatchAdmits
+	out.PlaneBatchQueries = ps.BatchQueries
 	return out, per
 }
 

@@ -44,6 +44,10 @@ for fam in \
   cjoin_dimplane_admits_total \
   cjoin_dimplane_admit_seconds_count \
   cjoin_dimplane_slots_in_use \
+  cjoin_dimplane_cache_hits_total \
+  cjoin_dimplane_cache_misses_total \
+  cjoin_dimplane_snapshot_publish_total \
+  cjoin_dimplane_admit_batch_size_bucket \
   cjoin_scan_pages_total \
   cjoin_scan_cycle_seconds_count \
   cjoin_filter_batch_seconds_count \
@@ -52,6 +56,14 @@ for fam in \
 ; do
   grep -q "^$fam" /tmp/metrics-smoke.txt || { echo "metrics missing family $fam"; exit 1; }
 done
+# The six identical queries above share one predicate template, so the
+# predicate-scan cache must have served repeats (>= 1 miss to build the
+# entry, hits for the rest) and the plane must have published COW
+# snapshots for the admissions.
+awk '$1=="cjoin_dimplane_cache_hits_total" && $2+0 > 0 {found=1} END{exit !found}' /tmp/metrics-smoke.txt \
+  || { echo "no dimension predicate cache hits recorded"; exit 1; }
+awk '$1=="cjoin_dimplane_snapshot_publish_total" && $2+0 > 0 {found=1} END{exit !found}' /tmp/metrics-smoke.txt \
+  || { echo "no dimension snapshot publications recorded"; exit 1; }
 # Per-shard labeling: both shard pipelines must report.
 for s in 0 1; do
   grep -q "cjoin_scan_pages_total{shard=\"$s\"}" /tmp/metrics-smoke.txt \
