@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -25,14 +26,20 @@ type Result struct {
 }
 
 // Report is the whole run: the environment header lines go test prints
-// (goos, goarch, pkg, cpu) plus every benchmark result.
+// (goos, goarch, pkg, cpu), the converter's own runtime figures
+// (gomaxprocs, num_cpu, go_version — making "all numbers are 1-core"
+// style caveats machine-checkable), plus every benchmark result.
 type Report struct {
 	Env     map[string]string `json:"env,omitempty"`
 	Results []Result          `json:"results"`
 }
 
 func main() {
-	rep := Report{Env: map[string]string{}, Results: []Result{}}
+	rep := Report{Env: map[string]string{
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"num_cpu":    strconv.Itoa(runtime.NumCPU()),
+		"go_version": runtime.Version(),
+	}, Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

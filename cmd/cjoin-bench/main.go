@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,7 +31,7 @@ import (
 func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, ablations, figure4..figure8, table1..table3, "+
-			"overload, shardscale, dimadmit, obsoverhead, ablation-{probeskip,batchsize,maxconc,filterorder,compression}")
+			"overload, shardscale, dimadmit, obsoverhead, zonemap, ablation-{probeskip,batchsize,maxconc,filterorder,compression}")
 		sf      = flag.Int("sf", 1, "SSB scale factor")
 		rows    = flag.Int("rows", 5000, "fact rows per scale-factor unit")
 		sel     = flag.Float64("s", 0.01, "predicate selectivity")
@@ -38,7 +39,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		maxConc = flag.Int("maxconc", 256, "CJOIN maxConc (bit-vector width)")
 		nsFlag  = flag.String("ns", "", "comma-separated concurrency sweep (default 1,8,32,64,128,256)")
-		selsArg = flag.String("sels", "", "comma-separated selectivity sweep for figure7/table2 (default 0.001,0.01,0.1)")
+		selsArg = flag.String("sels", "", "comma-separated selectivity sweep for figure7/table2 (default 0.001,0.01,0.1); "+
+			"for zonemap, the date-window width sweep (default 1,0.5,0.25,0.1,0.05)")
 		sfsArg  = flag.String("sfs", "", "comma-separated scale factors for figure8/table3 (default 1,4,16)")
 		n       = flag.Int("n", 32, "concurrency for figure7/figure8/table2/table3")
 		threads = flag.Int("threads", 5, "max stage threads for figure4")
@@ -86,6 +88,7 @@ func main() {
 		{"shardscale", func() (harness.Figure, error) { return harness.RunShardScale(cfg, shardNs, *n) }},
 		{"dimadmit", func() (harness.Figure, error) { return harness.RunDimAdmit(cfg, shardNs, *n) }},
 		{"obsoverhead", func() (harness.Figure, error) { return harness.RunObsOverhead(cfg, shardNs, *n) }},
+		{"zonemap", func() (harness.Figure, error) { return harness.RunZoneMapSweep(cfg, sels, 0) }},
 	}
 	ablations := []runner{
 		{"probeskip", func() (harness.Figure, error) { return harness.RunAblationProbeSkip(cfg, *n) }},
@@ -106,7 +109,7 @@ func main() {
 		case *exp == r.id:
 		// "all" reproduces the paper's evaluation; the serving-tier and
 		// sharding experiments run only when asked for by name.
-		case *exp == "all" && !strings.HasPrefix(r.id, "ablation-") && r.id != "overload" && r.id != "shardscale" && r.id != "dimadmit" && r.id != "obsoverhead":
+		case *exp == "all" && !strings.HasPrefix(r.id, "ablation-") && r.id != "overload" && r.id != "shardscale" && r.id != "dimadmit" && r.id != "obsoverhead" && r.id != "zonemap":
 		case *exp == "ablations" && strings.HasPrefix(r.id, "ablation-"):
 		default:
 			continue
@@ -131,9 +134,23 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
+		// The env header makes run conditions (the ROADMAP's "all numbers
+		// are 1-core" caveat above all) machine-checkable in committed
+		// BENCH_<n>.json snapshots, mirroring cmd/benchjson.
+		doc := struct {
+			Env     map[string]string `json:"env"`
+			Figures []harness.Figure  `json:"figures"`
+		}{
+			Env: map[string]string{
+				"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+				"num_cpu":    strconv.Itoa(runtime.NumCPU()),
+				"go_version": runtime.Version(),
+			},
+			Figures: figures,
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		check(enc.Encode(figures))
+		check(enc.Encode(doc))
 	}
 }
 

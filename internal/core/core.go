@@ -93,6 +93,11 @@ type Config struct {
 	// (bτ AND NOT b_Dj == 0 forwards without probing). For ablation
 	// benchmarks only.
 	DisableProbeSkip bool
+	// DisableZoneMaps turns off page-level zone-map pruning: queries are
+	// charged every page of their needed partitions and the scan skips
+	// only whole partitions, restoring the §5 partition-granular
+	// behavior. The zero value (zone maps on) is the default.
+	DisableZoneMaps bool
 	// LegacyMapFilter swaps the Filters' lock-free copy-on-write dimht
 	// tables for the original map[int64]*dimEntry + RWMutex store. For
 	// ablation benchmarks only.

@@ -55,6 +55,18 @@ type runningQuery struct {
 	// star's GLOBAL partition order (partition-dealt shards translate
 	// through factScan.globalOf). Nil means every partition.
 	needParts []bool
+	// pruneRanges are the fact-column range constraints the admission
+	// derived from the plane's selected dimension key ranges and the
+	// fact predicate (zonemap.go); pruneEmpty marks an unsatisfiable
+	// constraint set (the query needs zero fact pages anywhere).
+	pruneRanges []colRange
+	pruneEmpty  bool
+	// needPages is the page-granular companion of needParts, indexed by
+	// the SCAN-LOCAL partition order (it is derived by the owning
+	// preprocessor against its own scan's synopses at registration). Nil
+	// means no page-level information; a nil inner slice means every
+	// page of that partition.
+	needPages [][]bool
 
 	// Progress accounting (§3.2.3: "the current point in the continuous
 	// scan can serve as a reliable progress indicator").
@@ -72,6 +84,18 @@ type runningQuery struct {
 // needsPart reports whether the query must scan global partition g.
 func (rq *runningQuery) needsPart(g int) bool {
 	return rq.needParts == nil || rq.needParts[g]
+}
+
+// pageNeeded reports whether the query's completion countdown charges
+// the given page of SCAN-LOCAL partition part. Pages beyond the bitmap
+// (appended after registration) are not charged: the countdown covers
+// exactly the page set frozen at registration.
+func (rq *runningQuery) pageNeeded(part, page int) bool {
+	if rq.needPages == nil || rq.needPages[part] == nil {
+		return true
+	}
+	bits := rq.needPages[part]
+	return page < len(bits) && bits[page]
 }
 
 func (rq *runningQuery) markCleaned() {
@@ -237,7 +261,9 @@ type Pipeline struct {
 // families carry a "shard" label so N shard pipelines share them.
 type pipeMetrics struct {
 	pagesRead   *obs.Counter
-	prunedPages *obs.Counter
+	prunedPart  *obs.Counter
+	prunedZone  *obs.Counter
+	zmSkipped   *obs.Counter
 	tuplesIn    *obs.Counter
 	tuplesOut   *obs.Counter
 	cycles      *obs.Counter
@@ -253,11 +279,16 @@ func newPipeMetrics(r *obs.Registry, shard int) pipeMetrics {
 		return pipeMetrics{}
 	}
 	sh := fmt.Sprintf("%d", shard)
+	pruned := r.CounterVec("cjoin_scan_pruned_pages_total",
+		"Fact pages pruned from queries' scans at admission, by cause: §5 partition pruning or page-level zone maps.",
+		"cause", "shard")
 	return pipeMetrics{
 		pagesRead: r.CounterVec("cjoin_scan_pages_total",
 			"Fact pages read by the continuous scan.", "shard").With(sh),
-		prunedPages: r.CounterVec("cjoin_scan_pruned_pages_total",
-			"Fact pages pruned from queries' scans by §5 partition pruning, counted at admission.", "shard").With(sh),
+		prunedPart: pruned.With("partition", sh),
+		prunedZone: pruned.With("zonemap", sh),
+		zmSkipped: r.CounterVec("cjoin_scan_zonemap_skipped_pages_total",
+			"Fact pages the continuous scan physically skipped because no resident query's zone-map bitmap needs them.", "shard").With(sh),
 		tuplesIn: r.CounterVec("cjoin_scan_tuples_total",
 			"Fact tuples entering the preprocessor.", "shard").With(sh),
 		tuplesOut: r.CounterVec("cjoin_scan_tuples_emitted_total",
@@ -643,6 +674,11 @@ func (p *Pipeline) activate(ctx context.Context, q *query.Bound, slot int, sink 
 	if p.star.PartCol >= 0 {
 		rq.needParts = p.neededPartitions(q, slot)
 	}
+	// Zone-map pruning: derive the fact-column ranges the preprocessor
+	// will intersect with its scan's page synopses at registration.
+	if !p.cfg.DisableZoneMaps {
+		rq.pruneRanges, rq.pruneEmpty = pruneRanges(p.star, p.plane, q, slot)
+	}
 
 	// Register under the manager lock, re-checking the terminal states:
 	// the failure sweep runs under the same lock, so a query is either
@@ -824,8 +860,13 @@ type Stats struct {
 	PagesRead     int64
 	ScanCycles    int64
 	ScanRetries   int64 // transient scan errors absorbed by page-boundary retry
-	Filters       []FilterStats
-	FilterOrder   []string
+	// Pruning counters: pages charged away from queries at admission
+	// (by cause) and pages the scan physically skipped via zone maps.
+	PagesPrunedPartition int64
+	PagesPrunedZonemap   int64
+	PagesSkippedZonemap  int64
+	Filters              []FilterStats
+	FilterOrder          []string
 
 	// State is the pipeline's serving state; FailureCause carries the
 	// terminal failure message for a failed pipeline.
@@ -870,6 +911,9 @@ func (p *Pipeline) Stats() Stats {
 		s.PagesRead = pp.pagesRead.Load()
 		s.ScanCycles = pp.scanCycles.Load()
 		s.ScanRetries = pp.scanRetries.Load()
+		s.PagesPrunedPartition = pp.prunedPartPages.Load()
+		s.PagesPrunedZonemap = pp.prunedZonePages.Load()
+		s.PagesSkippedZonemap = pp.zmSkippedPages.Load()
 	}
 	for _, ds := range p.dimStates {
 		s.Filters = append(s.Filters, ds.stats())

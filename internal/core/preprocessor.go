@@ -51,7 +51,14 @@ type preprocessor struct {
 	// runningQuery.needParts stays star-global and is translated through
 	// factScan.globalOf.
 	partRefs []int
-	mvcc     bool // fact rows carry xmin/xmax system columns
+	// pageAllRefs counts active queries needing EVERY page of a local
+	// partition (wrap-detected queries, and countdown queries with no
+	// zone-map bitmap there); pageRefs counts, per page, the queries
+	// whose bitmap needs it. A page is skipped only when both are zero —
+	// the page-granular generalization of partRefs (§5).
+	pageAllRefs []int
+	pageRefs    [][]int
+	mvcc        bool // fact rows carry xmin/xmax system columns
 
 	scratch expr.Joined // reused for fact-predicate evaluation
 
@@ -67,6 +74,11 @@ type preprocessor struct {
 	pagesRead   atomic.Int64
 	scanCycles  atomic.Int64
 	scanRetries atomic.Int64
+	// Pruning accounting: pages charged away from queries at admission,
+	// by cause, and pages the scan physically skipped via zone maps.
+	prunedPartPages atomic.Int64
+	prunedZonePages atomic.Int64
+	zmSkippedPages  atomic.Int64
 }
 
 func newPreprocessor(p *Pipeline) *preprocessor {
@@ -80,15 +92,17 @@ func newPreprocessor(p *Pipeline) *preprocessor {
 	}
 	scan := newFactScan(p.star, p.cfg.FactSource, p.cfg.PartSubset, wrap)
 	return &preprocessor{
-		p:        p,
-		scan:     scan,
-		cmds:     make(chan ppCmd),
-		cancels:  make(chan *runningQuery, p.cfg.MaxConcurrent),
-		out:      make(chan *batch, p.cfg.QueueLen),
-		stop:     p.stopCh,
-		baseMask: bitvec.New(p.cfg.MaxConcurrent),
-		partRefs: make([]int, len(scan.parts)),
-		mvcc:     p.star.Fact.Hidden >= 2,
+		p:           p,
+		scan:        scan,
+		cmds:        make(chan ppCmd),
+		cancels:     make(chan *runningQuery, p.cfg.MaxConcurrent),
+		out:         make(chan *batch, p.cfg.QueueLen),
+		stop:        p.stopCh,
+		baseMask:    bitvec.New(p.cfg.MaxConcurrent),
+		partRefs:    make([]int, len(scan.parts)),
+		pageAllRefs: make([]int, len(scan.parts)),
+		pageRefs:    make([][]int, len(scan.parts)),
+		mvcc:        p.star.Fact.Hidden >= 2,
 	}
 }
 
@@ -126,7 +140,11 @@ func (pp *preprocessor) run() {
 		default:
 		}
 
-		vals, n, pos, part, _, err := pp.nextPageRetry()
+		vals, n, pos, part, page, wrapped, err := pp.nextPageRetry()
+		if k := pp.scan.takeSkipped(); k > 0 {
+			pp.zmSkippedPages.Add(k)
+			pp.p.om.zmSkipped.Add(k)
+		}
 		if err != nil {
 			select {
 			case <-pp.stop:
@@ -149,7 +167,10 @@ func (pp *preprocessor) run() {
 		pp.pagesRead.Add(1)
 		pp.p.om.pagesRead.Inc()
 		pp.cyclePages++
-		if pos == 0 && part == 0 {
+		// A cycle boundary is the first page of a pass: the scan wrapped,
+		// or this is the first page after an idle park. (Position 0 is not
+		// a reliable boundary once pruning can skip page 0.)
+		if wrapped || pp.cycleStart.IsZero() {
 			pp.scanCycles.Add(1)
 			pp.p.om.cycles.Inc()
 			if !pp.cycleStart.IsZero() {
@@ -170,7 +191,7 @@ func (pp *preprocessor) run() {
 		if !pp.emitPage(vals, n) {
 			return
 		}
-		pp.afterPage(part)
+		pp.afterPage(part, page)
 	}
 }
 
@@ -180,11 +201,11 @@ func (pp *preprocessor) run() {
 // every retry re-reads the same page. Hard errors and exhausted retries
 // return to the caller for escalation; a pipeline stop during backoff
 // returns the pending error, which the caller's stop check supersedes.
-func (pp *preprocessor) nextPageRetry() (vals []int64, n int, pos int64, part int, wrapped bool, err error) {
+func (pp *preprocessor) nextPageRetry() (vals []int64, n int, pos int64, part, page int, wrapped bool, err error) {
 	const maxBackoff = 100 * time.Millisecond
 	backoff := pp.p.cfg.ScanRetryBackoff
 	for attempt := 0; ; attempt++ {
-		vals, n, pos, part, wrapped, err = pp.scan.nextPage(pp.skipPart)
+		vals, n, pos, part, page, wrapped, err = pp.scan.nextPage(pp.skipPart, pp.skipPage)
 		if err == nil || !transientErr(err) || attempt >= pp.p.cfg.ScanRetries {
 			return
 		}
@@ -226,28 +247,53 @@ func (pp *preprocessor) register(cmd ppCmd) {
 	rq := cmd.rq
 	rq.startPos = pp.scan.position()
 	rq.sawStart = false
-	if pp.scan.static {
-		// Pruning countdown over the partitions this scan covers: a
-		// shard's scan may hold only a dealt subset, so the query's
-		// star-global needParts is consulted per local partition. Pages
-		// the query needs on OTHER shards are theirs to count.
-		var pages, pruned int64
+	rq.needPages = pp.buildNeedPages(rq)
+	if pp.scan.static || rq.pruneEmpty || rq.needPages != nil {
+		// Pruning countdown over the partitions and pages this scan
+		// covers: a shard's scan may hold only a dealt subset, so the
+		// query's star-global needParts is consulted per local partition
+		// (pages the query needs on OTHER shards are theirs to count),
+		// and within a needed partition only the pages the query's
+		// zone-map bitmap retains are charged. A non-static scan joins
+		// the countdown regime once it has a bitmap: the page set is
+		// frozen at registration, so pages appended later are read but
+		// never charged, and completion still means "every needed page
+		// delivered exactly once".
+		var pages, prunedPart, prunedZone int64
 		for li := range pp.scan.parts {
-			if rq.needsPart(pp.scan.globalOf(li)) {
-				pp.partRefs[li]++
-				pages += int64(pp.scan.pagesInPart(li))
-			} else {
-				pruned += int64(pp.scan.pagesInPart(li))
+			total := int64(pp.scan.pagesInPart(li))
+			switch {
+			case pp.scan.static && !rq.needsPart(pp.scan.globalOf(li)):
+				prunedPart += total
+			case rq.pruneEmpty:
+				prunedZone += total
+			case rq.needPages == nil || rq.needPages[li] == nil:
+				pages += total
+			default:
+				var k int64
+				for _, b := range rq.needPages[li] {
+					if b {
+						k++
+					}
+				}
+				pages += k
+				prunedZone += total - k
 			}
 		}
 		rq.pagesLeft = pages
 		rq.pagesTotal.Store(pages)
-		pp.p.om.prunedPages.Add(pruned)
+		pp.prunedPartPages.Add(prunedPart)
+		pp.prunedZonePages.Add(prunedZone)
+		pp.p.om.prunedPart.Add(prunedPart)
+		pp.p.om.prunedZone.Add(prunedZone)
 	} else {
+		// No pruning information: wrap-around completion (§3.3.2). The
+		// query holds a pageAllRefs reference, so no page — including its
+		// start position — is skipped while it is resident.
 		rq.pagesLeft = -1
-		pp.partRefs[0]++
 		rq.pagesTotal.Store(int64(pp.scan.totalPages()))
 	}
+	pp.refPages(rq, +1)
 	pp.active = append(pp.active, rq)
 	if rq.q.HasFactPred() {
 		pp.predQ = append(pp.predQ, rq)
@@ -257,10 +303,93 @@ func (pp *preprocessor) register(cmd ppCmd) {
 	pp.emit(ctrlBatch(pp.nextSeq(), ctrlStart, rq, nil))
 	close(cmd.done)
 
-	// A query needing zero pages (e.g. every partition pruned, or an
-	// empty fact table) completes immediately.
-	if rq.pagesLeft == 0 || (!pp.scan.static && pp.scan.totalPages() == 0) {
+	// A query needing zero pages (e.g. every partition pruned, every page
+	// zone-mapped away, or an empty fact table) completes immediately.
+	if rq.pagesLeft == 0 || (rq.pagesLeft < 0 && pp.scan.totalPages() == 0) {
 		pp.finish(rq)
+	}
+}
+
+// buildNeedPages intersects the query's column ranges with the scan's
+// page synopses, yielding a scan-local per-partition bitmap of needed
+// pages — the page-granular companion of needParts. Nil means "no
+// page-level information" (all pages of needed partitions); a nil inner
+// slice means every page of that partition. Pages without a frozen
+// synopsis (the heap tail, sources with no zone maps) are always needed.
+func (pp *preprocessor) buildNeedPages(rq *runningQuery) [][]bool {
+	if pp.p.cfg.DisableZoneMaps || rq.pruneEmpty || len(rq.pruneRanges) == 0 {
+		return nil
+	}
+	var np [][]bool
+	for li := range pp.scan.parts {
+		if pp.scan.parts[li].bounds == nil {
+			continue
+		}
+		if pp.scan.static && !rq.needsPart(pp.scan.globalOf(li)) {
+			continue // partition-pruned; the partition level handles it
+		}
+		n := pp.scan.pagesInPart(li)
+		bits := make([]bool, n)
+		pruned := false
+		for pg := 0; pg < n; pg++ {
+			bits[pg] = true
+			for _, r := range rq.pruneRanges {
+				if lo, hi, ok := pp.scan.pageBounds(li, pg, r.col); ok && (hi < r.min || lo > r.max) {
+					bits[pg] = false
+					pruned = true
+					break
+				}
+			}
+		}
+		if !pruned {
+			continue // every page intersects: same as no bitmap
+		}
+		if np == nil {
+			np = make([][]bool, len(pp.scan.parts))
+		}
+		np[li] = bits
+	}
+	return np
+}
+
+// refPages adjusts the partition- and page-level reference counts for
+// one query; register calls it with +1 and finish with -1, keeping the
+// two levels symmetric by construction.
+func (pp *preprocessor) refPages(rq *runningQuery, delta int) {
+	if rq.pagesLeft < 0 {
+		// Wrap-detected: every page of every local partition.
+		for li := range pp.scan.parts {
+			pp.partRefs[li] += delta
+			pp.pageAllRefs[li] += delta
+		}
+		return
+	}
+	if rq.pruneEmpty {
+		return // needs nothing anywhere
+	}
+	for li := range pp.scan.parts {
+		if pp.scan.static && !rq.needsPart(pp.scan.globalOf(li)) {
+			continue
+		}
+		if rq.needPages == nil || rq.needPages[li] == nil {
+			pp.partRefs[li] += delta
+			pp.pageAllRefs[li] += delta
+			continue
+		}
+		bits := rq.needPages[li]
+		if len(pp.pageRefs[li]) < len(bits) {
+			pp.pageRefs[li] = append(pp.pageRefs[li], make([]int, len(bits)-len(pp.pageRefs[li]))...)
+		}
+		any := false
+		for pg, b := range bits {
+			if b {
+				pp.pageRefs[li][pg] += delta
+				any = true
+			}
+		}
+		if any {
+			pp.partRefs[li] += delta
+		}
 	}
 }
 
@@ -295,15 +424,7 @@ func (pp *preprocessor) finish(rq *runningQuery) {
 			break
 		}
 	}
-	if pp.scan.static {
-		for li := range pp.scan.parts {
-			if rq.needsPart(pp.scan.globalOf(li)) {
-				pp.partRefs[li]--
-			}
-		}
-	} else {
-		pp.partRefs[0]--
-	}
+	pp.refPages(rq, -1)
 	pp.emit(ctrlBatch(pp.nextSeq(), ctrlEnd, rq, nil))
 }
 
@@ -324,9 +445,12 @@ func (pp *preprocessor) checkWrapEnds(pos int64) {
 	}
 }
 
-// afterPage performs per-page accounting for partitioned queries and
-// finalizes those whose needed partitions are fully covered.
-func (pp *preprocessor) afterPage(part int) {
+// afterPage performs per-page accounting for countdown queries and
+// finalizes those whose needed pages are fully covered. Only pages in a
+// query's needed set are charged: partition-pruned partitions and
+// zone-mapped-away pages pass through (the scan may still read them for
+// other queries) without advancing the countdown.
+func (pp *preprocessor) afterPage(part, page int) {
 	for i := 0; i < len(pp.active); i++ {
 		rq := pp.active[i]
 		if rq.pagesLeft < 0 {
@@ -335,7 +459,7 @@ func (pp *preprocessor) afterPage(part int) {
 			}
 			continue
 		}
-		if !rq.needsPart(pp.scan.globalOf(part)) {
+		if !rq.needsPart(pp.scan.globalOf(part)) || !rq.pageNeeded(part, page) {
 			continue
 		}
 		rq.pagesLeft--
@@ -352,6 +476,20 @@ func (pp *preprocessor) afterPage(part int) {
 // skipPart reports whether no active query needs scan-local partition i
 // (§5: the continuous scan covers only the union of needed partitions).
 func (pp *preprocessor) skipPart(i int) bool { return pp.partRefs[i] == 0 }
+
+// skipPage reports whether no active query needs the given page of
+// scan-local partition part. Pages beyond the tracked range (appended
+// after every resident query registered) are conservatively scanned.
+func (pp *preprocessor) skipPage(part, page int) bool {
+	if pp.pageAllRefs[part] > 0 {
+		return false
+	}
+	pr := pp.pageRefs[part]
+	if page >= len(pr) {
+		return false
+	}
+	return pr[page] == 0
+}
 
 // emitPage turns one fact page into data batches, initializing every
 // tuple's bit-vector. It returns false when the pipeline is stopping.

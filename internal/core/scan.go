@@ -5,9 +5,12 @@ import (
 	"cjoin/internal/storage"
 )
 
-// scanPart is one partition of the continuous scan's input.
+// scanPart is one partition of the continuous scan's input. bounds is
+// the partition's zone-map face (nil when the source has none), captured
+// from the unwrapped source so fault wrappers don't hide it.
 type scanPart struct {
-	src PageSource
+	src    PageSource
+	bounds BoundsSource
 }
 
 // factScan is the continuous scan feeding the Preprocessor (§3.1): it
@@ -31,6 +34,11 @@ type factScan struct {
 	page    int
 	vals    []int64
 	scratch []byte
+
+	// zmSkipped counts pages the scan hopped over because no resident
+	// query's zone-map bitmap needs them; the preprocessor drains it into
+	// the telemetry plane after each delivered page.
+	zmSkipped int64
 }
 
 // newFactScan builds the continuous scan. wrap, if non-nil, interposes
@@ -43,7 +51,7 @@ func newFactScan(star *catalog.Star, override PageSource, subset []int, wrap fun
 	var parts []scanPart
 	var global []int
 	if override != nil {
-		parts = []scanPart{{src: wrap(override)}}
+		parts = []scanPart{{src: wrap(override), bounds: boundsOf(override)}}
 		global = []int{0}
 	} else {
 		all := star.Partitions()
@@ -54,7 +62,7 @@ func newFactScan(star *catalog.Star, override PageSource, subset []int, wrap fun
 			}
 		}
 		for _, g := range subset {
-			parts = append(parts, scanPart{src: wrap(all[g].Heap)})
+			parts = append(parts, scanPart{src: wrap(all[g].Heap), bounds: boundsOf(all[g].Heap)})
 			global = append(global, g)
 		}
 	}
@@ -82,6 +90,23 @@ func newFactScan(star *catalog.Star, override PageSource, subset []int, wrap fun
 // pagesInPart returns the page count of scan-local partition i.
 func (s *factScan) pagesInPart(i int) int { return s.parts[i].src.NumPages() }
 
+// pageBounds returns the zone-map synopsis of (partition, page, column),
+// ok=false when the source has none or the page is not frozen.
+func (s *factScan) pageBounds(part, page, col int) (min, max int64, ok bool) {
+	b := s.parts[part].bounds
+	if b == nil {
+		return 0, 0, false
+	}
+	return b.PageColBounds(page, col)
+}
+
+// takeSkipped drains the count of zone-map-skipped pages.
+func (s *factScan) takeSkipped() int64 {
+	k := s.zmSkipped
+	s.zmSkipped = 0
+	return k
+}
+
 // globalOf maps a scan-local partition index to the star's global
 // partition index (they differ when the scan covers a dealt subset).
 func (s *factScan) globalOf(i int) int { return s.global[i] }
@@ -98,7 +123,7 @@ func (s *factScan) totalPages() int {
 // position returns the absolute row position of the page the scan will
 // deliver next, or 0 when nothing is scannable.
 func (s *factScan) position() int64 {
-	s.skipEmpty(nil)
+	s.advance(nil, nil)
 	if s.partIdx >= len(s.parts) || s.page >= s.parts[s.partIdx].src.NumPages() {
 		return 0
 	}
@@ -113,17 +138,29 @@ func (s *factScan) posOf(part, page int) int64 {
 	return base + int64(page)*int64(s.rpp)
 }
 
-// skipEmpty advances past exhausted or skipped partitions, wrapping to
-// the first partition as needed. It reports whether it wrapped.
-func (s *factScan) skipEmpty(skip func(part int) bool) (wrapped bool) {
+// advance moves the cursor to the next scannable page, hopping past
+// exhausted or skipped partitions and — within an eligible partition —
+// past pages skipPage rejects, wrapping to the first partition as
+// needed. It reports whether it wrapped. Pages rejected by skipPage are
+// tallied into zmSkipped, once per pass over them.
+func (s *factScan) advance(skipPart func(part int) bool, skipPage func(part, page int) bool) (wrapped bool) {
 	for hops := 0; hops <= len(s.parts); hops++ {
 		if s.partIdx >= len(s.parts) {
 			s.partIdx = 0
 			s.page = 0
 			wrapped = true
 		}
-		if s.page < s.parts[s.partIdx].src.NumPages() && (skip == nil || !skip(s.partIdx)) {
-			return wrapped
+		np := s.parts[s.partIdx].src.NumPages()
+		if s.page < np && (skipPart == nil || !skipPart(s.partIdx)) {
+			if skipPage != nil {
+				for s.page < np && skipPage(s.partIdx, s.page) {
+					s.page++
+					s.zmSkipped++
+				}
+			}
+			if s.page < np {
+				return wrapped
+			}
 		}
 		s.partIdx++
 		s.page = 0
@@ -131,32 +168,35 @@ func (s *factScan) skipEmpty(skip func(part int) bool) (wrapped bool) {
 	return wrapped
 }
 
-// nextPage delivers the next page in the cycle. skip, if non-nil, lets
-// the caller omit partitions no active query needs (§5: "a sequential
-// scan of the union of identified partitions"). It returns the decoded
-// values (aliasing an internal buffer), row count, absolute position,
-// partition index, and whether the scan wrapped past the end to produce
-// this page. n == 0 with err == nil means nothing is scannable (empty or
-// fully skipped fact table).
-func (s *factScan) nextPage(skip func(part int) bool) (vals []int64, n int, pos int64, part int, wrapped bool, err error) {
-	wrapped = s.skipEmpty(skip)
+// nextPage delivers the next page in the cycle. skipPart, if non-nil,
+// lets the caller omit partitions no active query needs (§5: "a
+// sequential scan of the union of identified partitions"); skipPage
+// likewise omits individual pages whose zone maps no resident query
+// intersects. It returns the decoded values (aliasing an internal
+// buffer), row count, absolute position, partition and page index, and
+// whether the scan wrapped past the end to produce this page. n == 0
+// with err == nil means nothing is scannable (empty or fully skipped
+// fact table).
+func (s *factScan) nextPage(skipPart func(part int) bool, skipPage func(part, page int) bool) (vals []int64, n int, pos int64, part, page int, wrapped bool, err error) {
+	wrapped = s.advance(skipPart, skipPage)
 	if s.partIdx >= len(s.parts) {
 		// Everything is empty or skipped.
-		return nil, 0, 0, 0, wrapped, nil
+		return nil, 0, 0, 0, 0, wrapped, nil
 	}
 	p := s.parts[s.partIdx]
-	if s.page >= p.src.NumPages() || (skip != nil && skip(s.partIdx)) {
-		return nil, 0, 0, s.partIdx, wrapped, nil
+	if s.page >= p.src.NumPages() || (skipPart != nil && skipPart(s.partIdx)) ||
+		(skipPage != nil && skipPage(s.partIdx, s.page)) {
+		return nil, 0, 0, s.partIdx, 0, wrapped, nil
 	}
 	pos = s.posOf(s.partIdx, s.page)
 	n, err = p.src.ReadPage(s.page, s.vals, s.scratch)
 	if err != nil {
-		return nil, 0, 0, s.partIdx, wrapped, err
+		return nil, 0, 0, s.partIdx, s.page, wrapped, err
 	}
-	part = s.partIdx
+	part, page = s.partIdx, s.page
 	// Advance by one page only; partition hand-off happens lazily in
-	// skipEmpty so a single growing heap picks up appended tail pages
+	// advance so a single growing heap picks up appended tail pages
 	// before wrapping.
 	s.page++
-	return s.vals, n, pos, part, wrapped, nil
+	return s.vals, n, pos, part, page, wrapped, nil
 }

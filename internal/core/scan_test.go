@@ -44,7 +44,7 @@ func TestFactScanCyclesOverPartitions(t *testing.T) {
 	var prev int64 = -1
 	wraps := 0
 	for wraps < 2 {
-		vals, n, pos, _, wrapped, err := s.nextPage(nil)
+		vals, n, pos, _, _, wrapped, err := s.nextPage(nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func TestFactScanSkipsPartitions(t *testing.T) {
 	skipMiddle := func(p int) bool { return p == 1 }
 	seenParts := map[int]bool{}
 	for i := 0; i < 10; i++ {
-		vals, n, _, part, _, err := s.nextPage(skipMiddle)
+		vals, n, _, part, _, _, err := s.nextPage(skipMiddle, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func TestFactScanSkipsPartitions(t *testing.T) {
 func TestFactScanAllSkipped(t *testing.T) {
 	star := partStar(t, []int64{100})
 	s := newFactScan(star, nil, nil, nil)
-	_, n, _, _, _, err := s.nextPage(func(int) bool { return true })
+	_, n, _, _, _, _, err := s.nextPage(func(int) bool { return true }, nil)
 	if err != nil || n != 0 {
 		t.Fatalf("fully skipped scan must return n=0: n=%d err=%v", n, err)
 	}
@@ -107,7 +107,7 @@ func TestFactScanPositionsStable(t *testing.T) {
 	s := newFactScan(star, nil, nil, nil)
 	var firstCycle, secondCycle []int64
 	for {
-		_, _, pos, _, wrapped, err := s.nextPage(nil)
+		_, _, pos, _, _, wrapped, err := s.nextPage(nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestFactScanPositionsStable(t *testing.T) {
 		firstCycle = append(firstCycle, pos)
 	}
 	for len(secondCycle) < len(firstCycle) {
-		_, _, pos, _, _, err := s.nextPage(nil)
+		_, _, pos, _, _, _, err := s.nextPage(nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,3 +16,23 @@ type PageSource interface {
 	NumPages() int
 	ReadPage(page int, dst []int64, scratch []byte) (int, error)
 }
+
+// BoundsSource is the optional zone-map face of a PageSource: per-page
+// min/max synopses for a column, used to skip pages no resident query can
+// match. *storage.HeapFile satisfies it; sources that don't (e.g. the
+// column-store scan/merge) simply get no page-level pruning. ok must be
+// false whenever the page's contents are not frozen (the heap tail) or
+// unknown — the scan then treats the page as matching everything.
+type BoundsSource interface {
+	PageColBounds(page, col int) (min, max int64, ok bool)
+}
+
+// boundsOf returns src's zone-map face, or nil. Bounds are captured from
+// the unwrapped source: fault wrappers must preserve geometry, and bounds
+// only ever gate which pages are read, never what is read.
+func boundsOf(src PageSource) BoundsSource {
+	if b, ok := src.(BoundsSource); ok {
+		return b
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+
+	"cjoin/internal/catalog"
+	"cjoin/internal/dimplane"
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+)
+
+// Zone-map pruning generalizes §5 partition pruning from partitions to
+// pages. At admission the dimension plane already knows, per referenced
+// dimension, the key range of the tuples the query selected
+// (dimplane.SelectedKeyRange — the same correlation NeededPartitions
+// uses). Any fact row that joins with a selected dimension tuple must
+// carry a foreign key inside that range, so the range is a sound
+// constraint on the fact's FK column; direct range predicates on fact
+// columns constrain their columns the same way. Intersecting these
+// ranges with the per-page min/max synopses (storage zone maps) yields a
+// per-page bitmap: a page whose synopsis is disjoint from any constraint
+// holds no row that can contribute to the query and is charged to — and,
+// when no resident query needs it, physically skipped by — the
+// continuous scan.
+
+// colRange constrains one fact column (absolute index, hidden columns
+// included) to the closed interval [min, max].
+type colRange struct {
+	col      int
+	min, max int64
+}
+
+// pruneRanges derives the fact-column range constraints implied by an
+// admitted query. empty reports that the constraints are unsatisfiable
+// (a referenced dimension predicate selected no tuples, or contradictory
+// fact ranges): the query needs zero fact pages. The query must already
+// be admitted to the plane at slot.
+func pruneRanges(star *catalog.Star, plane *dimplane.Plane, q *query.Bound, slot int) (ranges []colRange, empty bool) {
+	add := func(col int, lo, hi int64) {
+		for i := range ranges {
+			if ranges[i].col == col {
+				if lo > ranges[i].min {
+					ranges[i].min = lo
+				}
+				if hi < ranges[i].max {
+					ranges[i].max = hi
+				}
+				return
+			}
+		}
+		ranges = append(ranges, colRange{col: col, min: lo, max: hi})
+	}
+	for i := range star.Dims {
+		if !q.DimRefs[i] || !q.HasDimPred(i) {
+			continue
+		}
+		minKey, maxKey, any := plane.SelectedKeyRange(i, slot)
+		if !any {
+			return nil, true
+		}
+		add(star.FKCol[i], minKey, maxKey)
+	}
+	if q.HasFactPred() {
+		collectFactRanges(q.FactPred, add)
+	}
+	for _, r := range ranges {
+		if r.min > r.max {
+			return nil, true
+		}
+	}
+	return ranges, false
+}
+
+// collectFactRanges walks the top-level AND conjuncts of a fact
+// predicate and reports every column-vs-constant comparison as a range
+// constraint. Anything it cannot prove (OR, NOT, <>, arithmetic,
+// column-vs-column) is conservatively ignored — the predicate is still
+// evaluated per row, so ignoring a conjunct only costs pruning, never
+// correctness.
+func collectFactRanges(n expr.Node, add func(col int, lo, hi int64)) {
+	switch e := n.(type) {
+	case expr.Bin:
+		switch e.Op {
+		case expr.And:
+			collectFactRanges(e.L, add)
+			collectFactRanges(e.R, add)
+		case expr.Eq, expr.Lt, expr.Le, expr.Gt, expr.Ge:
+			col, c, ok, flipped := factColConst(e.L, e.R)
+			if !ok {
+				return
+			}
+			op := e.Op
+			if flipped {
+				switch op {
+				case expr.Lt:
+					op = expr.Gt
+				case expr.Le:
+					op = expr.Ge
+				case expr.Gt:
+					op = expr.Lt
+				case expr.Ge:
+					op = expr.Le
+				}
+			}
+			switch op {
+			case expr.Eq:
+				add(col, c, c)
+			case expr.Ge:
+				add(col, c, math.MaxInt64)
+			case expr.Gt:
+				if c == math.MaxInt64 {
+					add(col, 1, 0) // empty
+				} else {
+					add(col, c+1, math.MaxInt64)
+				}
+			case expr.Le:
+				add(col, math.MinInt64, c)
+			case expr.Lt:
+				if c == math.MinInt64 {
+					add(col, 1, 0) // empty
+				} else {
+					add(col, math.MinInt64, c-1)
+				}
+			}
+		}
+	case *expr.In:
+		col, ok := factCol(e.X)
+		if !ok {
+			return
+		}
+		if len(e.Vals) == 0 {
+			add(col, 1, 0) // empty
+			return
+		}
+		lo, hi := e.Vals[0], e.Vals[0]
+		for _, v := range e.Vals[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		add(col, lo, hi)
+	}
+}
+
+// factColConst matches `fact-col op const` (flipped=false) or
+// `const op fact-col` (flipped=true).
+func factColConst(l, r expr.Node) (col int, c int64, ok, flipped bool) {
+	if cl, isCol := l.(expr.Col); isCol && cl.Slot == 0 {
+		if k, isConst := r.(expr.Const); isConst {
+			return cl.Idx, k.V, true, false
+		}
+	}
+	if k, isConst := l.(expr.Const); isConst {
+		if cl, isCol := r.(expr.Col); isCol && cl.Slot == 0 {
+			return cl.Idx, k.V, true, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+func factCol(n expr.Node) (int, bool) {
+	if cl, isCol := n.(expr.Col); isCol && cl.Slot == 0 {
+		return cl.Idx, true
+	}
+	return 0, false
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cjoin/internal/expr"
+	"cjoin/internal/query"
+	"cjoin/internal/ssb"
+	"cjoin/internal/storage"
+)
+
+func fcol(idx int) expr.Col    { return expr.Col{Slot: 0, Idx: idx} }
+func konst(v int64) expr.Const { return expr.Const{V: v} }
+
+// TestCollectFactRanges pins the range-extraction rules: top-level AND
+// conjuncts of column-vs-constant comparisons become closed intervals,
+// flipped operand order is normalized, IN lists collapse to their hull,
+// and everything unprovable (OR, <>, dimension columns) is ignored.
+func TestCollectFactRanges(t *testing.T) {
+	type rng struct {
+		col    int
+		lo, hi int64
+	}
+	collect := func(n expr.Node) []rng {
+		var out []rng
+		collectFactRanges(n, func(col int, lo, hi int64) {
+			out = append(out, rng{col, lo, hi})
+		})
+		return out
+	}
+	cases := []struct {
+		name string
+		node expr.Node
+		want []rng
+	}{
+		{"between", expr.Bin{Op: expr.And,
+			L: expr.Bin{Op: expr.Ge, L: fcol(3), R: konst(5)},
+			R: expr.Bin{Op: expr.Le, L: fcol(3), R: konst(10)}},
+			[]rng{{3, 5, math.MaxInt64}, {3, math.MinInt64, 10}}},
+		{"eq", expr.Bin{Op: expr.Eq, L: fcol(2), R: konst(4)},
+			[]rng{{2, 4, 4}}},
+		{"flipped-gt", expr.Bin{Op: expr.Gt, L: konst(7), R: fcol(1)},
+			[]rng{{1, math.MinInt64, 6}}}, // 7 > c  ⇒  c < 7
+		{"strict-lt", expr.Bin{Op: expr.Lt, L: fcol(0), R: konst(9)},
+			[]rng{{0, math.MinInt64, 8}}},
+		{"in-hull", &expr.In{X: fcol(5), Vals: []int64{9, 3, 6}},
+			[]rng{{5, 3, 9}}},
+		{"in-empty", &expr.In{X: fcol(5), Vals: nil},
+			[]rng{{5, 1, 0}}}, // unsatisfiable marker
+		{"gt-maxint", expr.Bin{Op: expr.Gt, L: fcol(0), R: konst(math.MaxInt64)},
+			[]rng{{0, 1, 0}}}, // no int64 is greater: unsatisfiable, no overflow
+		{"or-ignored", expr.Bin{Op: expr.Or,
+			L: expr.Bin{Op: expr.Eq, L: fcol(0), R: konst(1)},
+			R: expr.Bin{Op: expr.Eq, L: fcol(0), R: konst(2)}},
+			nil},
+		{"ne-ignored", expr.Bin{Op: expr.Ne, L: fcol(0), R: konst(1)}, nil},
+		{"dim-col-ignored", expr.Bin{Op: expr.Eq, L: expr.Col{Slot: 1, Idx: 0}, R: konst(1)}, nil},
+		{"col-vs-col-ignored", expr.Bin{Op: expr.Lt, L: fcol(0), R: fcol(1)}, nil},
+		{"arith-ignored", expr.Bin{Op: expr.Eq,
+			L: expr.Bin{Op: expr.Add, L: fcol(0), R: konst(1)}, R: konst(5)}, nil},
+	}
+	for _, tc := range cases {
+		got := collect(tc.node)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: ranges %v, want %v", tc.name, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: range %d = %v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestFactScanSkipsPages exercises the page-level skip hook directly: a
+// skipPage callback must keep the named pages off the device, rows from
+// them must never be delivered, and the scan must count each physical
+// skip exactly once.
+func TestFactScanSkipsPages(t *testing.T) {
+	star := partStar(t, []int64{1022}) // 511 rows/page → exactly 2 flushed pages
+	s := newFactScan(star, nil, nil, nil)
+	skipFirst := func(part, page int) bool { return page == 0 }
+	for i := 0; i < 4; i++ {
+		vals, n, _, part, page, _, err := s.nextPage(nil, skipFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("scan starved with one live page")
+		}
+		if part != 0 || page != 1 {
+			t.Fatalf("delivered (part=%d, page=%d), want (0, 1)", part, page)
+		}
+		for r := 0; r < n; r++ {
+			if v := vals[r*2+1]; v < 511 {
+				t.Fatalf("row %d from skipped page delivered", v)
+			}
+		}
+		if k := s.takeSkipped(); k != 1 {
+			t.Fatalf("cycle %d: %d pages counted skipped, want 1", i, k)
+		}
+	}
+}
+
+// TestNeedPagesCoverQualifyingRows is the zone-map soundness property,
+// checked against the raw data: for randomized SSB workloads, every page
+// holding a row that satisfies ALL of a query's derived column ranges
+// must be marked needed in the query's page bitmap — including the
+// unflushed tail page (no frozen synopsis ⇒ always needed) and
+// RLE-compressed heaps (bounds computed pre-encoding). A page the bitmap
+// drops while a qualifying row lives on it would silently corrupt
+// results; this test fails before that can hide behind aggregation.
+func TestNeedPagesCoverQualifyingRows(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		compress bool
+		parts    int
+	}{
+		{"raw-unpartitioned", false, 0},
+		{"rle-unpartitioned", true, 0},
+		{"raw-partitioned", false, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, err := ssb.Generate(ssb.Config{
+				SF: 1, FactRowsPerSF: 3000, Seed: 11,
+				CompressFact: tc.compress, Partitions: tc.parts,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := NewPipeline(ds.Star, Config{MaxConcurrent: 8, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Start()
+			t.Cleanup(p.Stop)
+
+			w := ssb.NewWorkload(ds, 0.05, 17)
+			sawBitmap := false
+			for i := 0; i < 12; i++ {
+				_, text := w.Next()
+				q, err := query.ParseBind(text, ds.Star)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := p.Submit(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := h.Wait()
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				rq := h.(*pipeHandle).rq
+				if rq.pruneEmpty {
+					if len(res.Rows) != 0 {
+						t.Fatalf("pruneEmpty query returned %d rows: %s", len(res.Rows), text)
+					}
+					continue
+				}
+				if rq.needPages == nil {
+					continue // no page-level pruning: trivially sound
+				}
+				sawBitmap = true
+				for li, part := range ds.Star.Partitions() {
+					heap := part.Heap
+					ncols := heap.NumCols()
+					dst := make([]int64, heap.RowsPerPage()*ncols)
+					scratch := make([]byte, storage.PageSize)
+					for pg := 0; pg < heap.NumPages(); pg++ {
+						n, err := heap.ReadPage(pg, dst, scratch)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for r := 0; r < n; r++ {
+							row := dst[r*ncols : (r+1)*ncols]
+							qualifies := true
+							for _, cr := range rq.pruneRanges {
+								if row[cr.col] < cr.min || row[cr.col] > cr.max {
+									qualifies = false
+									break
+								}
+							}
+							if qualifies && !rq.pageNeeded(li, pg) {
+								t.Fatalf("partition %d page %d holds a qualifying row but is not needed: %s",
+									li, pg, text)
+							}
+						}
+					}
+				}
+			}
+			if !sawBitmap {
+				t.Fatal("no query produced a page bitmap; the property was never exercised")
+			}
+		})
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"strings"
 	"time"
 
+	"cjoin/internal/agg"
 	"cjoin/internal/core"
 	"cjoin/internal/dimplane"
 	"cjoin/internal/engine"
 	"cjoin/internal/obs"
 	"cjoin/internal/query"
+	"cjoin/internal/ref"
 )
 
 // Figure is one reproduced figure or table: named series over a shared
@@ -554,6 +556,134 @@ func (e *Env) admitThroughput(probers int) (admitBench, error) {
 		b.meanBatch = float64(st.BatchQueries) / float64(st.BatchAdmits)
 	}
 	return b, nil
+}
+
+// RunZoneMapSweep measures page-level zone-map pruning (PR 9): date-window
+// join queries of decreasing width — w is the window's fraction of the date
+// key span — run one at a time against the same date-clustered dataset with
+// zone maps off (the §5 partition-granular baseline; on an unpartitioned
+// heap, no pruning at all) versus on, reporting mean pages charged per
+// query and mean response time for both. Every result is compared
+// bit-exactly against internal/ref ground truth; any divergence aborts the
+// sweep — a pruning optimization that changes answers is a bug, not a data
+// point. Queries run sequentially so per-query page counts are exact and
+// the two variants never contend for the simulated device.
+func RunZoneMapSweep(cfg Config, widths []float64, qPerWidth int) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if len(widths) == 0 {
+		widths = []float64{1, 0.5, 0.25, 0.1, 0.05}
+	}
+	if qPerWidth <= 0 {
+		qPerWidth = 6
+	}
+	fig := Figure{
+		ID:     "zonemap",
+		Title:  fmt.Sprintf("Zone-map pruning: pages charged and response time vs date-window width (%d queries per point)", qPerWidth),
+		XLabel: "date window (fraction of key span)",
+		YLabel: "pages/query, response ms, reduction %",
+	}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return fig, err
+	}
+	keys := env.Dataset.DateKeys
+	type zmQuery struct {
+		width int // index into widths
+		sql   string
+		bound *query.Bound
+		want  []agg.Result
+	}
+	var qs []zmQuery
+	for wi, w := range widths {
+		k := int(w * float64(len(keys)))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(keys) {
+			k = len(keys)
+		}
+		for i := 0; i < qPerWidth; i++ {
+			// Window start slides across the key span so each width
+			// samples several disjoint regions of the (date-clustered)
+			// fact table, not just its head.
+			lo := 0
+			if qPerWidth > 1 {
+				lo = i * (len(keys) - k) / (qPerWidth - 1)
+			}
+			sql := fmt.Sprintf(
+				"SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN %d AND %d GROUP BY d_year",
+				keys[lo], keys[lo+k-1])
+			b, err := query.ParseBind(sql, env.Dataset.Star)
+			if err != nil {
+				return fig, fmt.Errorf("harness: %w", err)
+			}
+			b.Snapshot = env.Dataset.Txn.Begin()
+			want, err := ref.Execute(b)
+			if err != nil {
+				return fig, err
+			}
+			qs = append(qs, zmQuery{width: wi, sql: sql, bound: b, want: want})
+		}
+	}
+	// measure runs every query against one executor variant and returns
+	// per-width means. Both variants are ref-checked bit-exactly, so
+	// off/on parity is transitively exact.
+	measure := func(disableZM bool) (pages, lat []float64, err error) {
+		exec, err := env.NewExecutor(core.Config{DisableZoneMaps: disableZM})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer exec.Stop()
+		pages = make([]float64, len(widths))
+		lat = make([]float64, len(widths))
+		counts := make([]int, len(widths))
+		for _, q := range qs {
+			t0 := time.Now()
+			h, err := exec.Submit(q.bound)
+			if err != nil {
+				return nil, nil, err
+			}
+			res := h.Wait()
+			elapsed := time.Since(t0)
+			if res.Err != nil {
+				return nil, nil, res.Err
+			}
+			if !ref.ResultsEqual(res.Rows, q.want) {
+				return nil, nil, fmt.Errorf("harness: zonemaps=%v diverges from reference on %q", !disableZM, q.sql)
+			}
+			pages[q.width] += float64(h.PagesScanned())
+			lat[q.width] += float64(elapsed.Milliseconds())
+			counts[q.width]++
+		}
+		for i := range pages {
+			pages[i] /= float64(counts[i])
+			lat[i] /= float64(counts[i])
+		}
+		return pages, lat, nil
+	}
+	pagesOff, latOff, err := measure(true)
+	if err != nil {
+		return fig, err
+	}
+	pagesOn, latOn, err := measure(false)
+	if err != nil {
+		return fig, err
+	}
+	reduction := make([]float64, len(widths))
+	for i := range widths {
+		if pagesOff[i] > 0 {
+			reduction[i] = (pagesOff[i] - pagesOn[i]) / pagesOff[i] * 100
+		}
+	}
+	fig.X = widths
+	fig.Series = []Series{
+		{Name: "pages/query (zonemaps off)", Y: pagesOff},
+		{Name: "pages/query (zonemaps on)", Y: pagesOn},
+		{Name: "page reduction (%)", Y: reduction},
+		{Name: "response time off (ms)", Y: latOff},
+		{Name: "response time on (ms)", Y: latOn},
+	}
+	return fig, nil
 }
 
 // dealableShards drops shard counts a partitioned star cannot run

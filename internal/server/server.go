@@ -502,19 +502,22 @@ type shardPartitioner interface {
 // wireStats converts a core.Stats snapshot to its wire form.
 func wireStats(ps core.Stats) PipelineStats {
 	out := PipelineStats{
-		TuplesScanned:  ps.TuplesScanned,
-		TuplesEmitted:  ps.TuplesEmitted,
-		PagesRead:      ps.PagesRead,
-		ScanCycles:     ps.ScanCycles,
-		ScanRetries:    ps.ScanRetries,
-		State:          string(ps.State),
-		FailureCause:   ps.FailureCause,
-		FilterOrder:    ps.FilterOrder,
-		DimAdmits:      ps.DimAdmits,
-		DimAdmitMicros: ps.DimAdmitNanos / 1000,
-		PlaneBytes:     ps.PlaneBytes,
-		PlanePeakBytes: ps.PlanePeakBytes,
-		PlanePipelines: ps.PlanePipelines,
+		TuplesScanned:        ps.TuplesScanned,
+		TuplesEmitted:        ps.TuplesEmitted,
+		PagesRead:            ps.PagesRead,
+		ScanCycles:           ps.ScanCycles,
+		ScanRetries:          ps.ScanRetries,
+		PagesPrunedPartition: ps.PagesPrunedPartition,
+		PagesPrunedZonemap:   ps.PagesPrunedZonemap,
+		PagesSkippedZonemap:  ps.PagesSkippedZonemap,
+		State:                string(ps.State),
+		FailureCause:         ps.FailureCause,
+		FilterOrder:          ps.FilterOrder,
+		DimAdmits:            ps.DimAdmits,
+		DimAdmitMicros:       ps.DimAdmitNanos / 1000,
+		PlaneBytes:           ps.PlaneBytes,
+		PlanePeakBytes:       ps.PlanePeakBytes,
+		PlanePipelines:       ps.PlanePipelines,
 
 		PlaneCacheHits:    ps.PlaneCacheHits,
 		PlaneCacheMisses:  ps.PlaneCacheMisses,

@@ -28,15 +28,15 @@ type testEnv struct {
 	reg  *obs.Registry
 }
 
-func startServer(t testing.TB, rows, maxConc int, dc disk.Config, acfg admission.Config) *testEnv {
-	return startServerSharded(t, rows, maxConc, 1, 0, dc, acfg)
+func startServer(t testing.TB, rows, maxConc int, dc disk.Config, acfg admission.Config, tweaks ...func(*core.Config)) *testEnv {
+	return startServerSharded(t, rows, maxConc, 1, 0, dc, acfg, tweaks...)
 }
 
 // startServerSharded runs the service layer over a sharded execution
 // tier (shards = 1 degenerates to the single pipeline) — the same wiring
 // cjoind -shards uses. parts > 1 range-partitions the fact table, so the
 // group deals whole partitions instead of striding pages.
-func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.Config, acfg admission.Config) *testEnv {
+func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.Config, acfg admission.Config, tweaks ...func(*core.Config)) *testEnv {
 	t.Helper()
 	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: rows, Seed: 11, Partitions: parts, Disk: dc})
 	if err != nil {
@@ -45,9 +45,13 @@ func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.
 	// Every server test runs with the telemetry plane on — the cjoind
 	// default — so the instrumented hot paths are what the suite covers.
 	reg := obs.NewRegistry()
+	ccfg := core.Config{MaxConcurrent: maxConc, Workers: 2}
+	for _, tw := range tweaks {
+		tw(&ccfg)
+	}
 	var exec core.Executor
 	if shards > 1 {
-		g, err := shard.New(ds.Star, shard.Config{Shards: shards, Core: core.Config{MaxConcurrent: maxConc, Workers: 2}, Obs: reg})
+		g, err := shard.New(ds.Star, shard.Config{Shards: shards, Core: ccfg, Obs: reg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +59,8 @@ func startServerSharded(t testing.TB, rows, maxConc, shards, parts int, dc disk.
 		t.Cleanup(g.Stop)
 		exec = g
 	} else {
-		pipe, err := core.NewPipeline(ds.Star, core.Config{MaxConcurrent: maxConc, Workers: 2, Obs: reg})
+		ccfg.Obs = reg
+		pipe, err := core.NewPipeline(ds.Star, ccfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +107,13 @@ func TestEndToEndOverload(t *testing.T) {
 	const maxConc = 4
 	// ~20 MB/s over ~170 KB of fact pages: a scan cycle takes ~10 ms,
 	// slow enough to observe progress, fast enough for CI.
-	env := startServer(t, 1200, maxConc, disk.Config{SeqBytesPerSec: 20 << 20}, admission.Config{MaxQueue: 64})
+	// Zone maps off (PR 9): the narrow workload windows would otherwise
+	// prune the scan down to a couple of pages and queries would finish
+	// before their queued and mid-flight states can be observed over
+	// HTTP. This test pins serving-tier observability on full scans;
+	// pruned charges have their own end-to-end tests.
+	env := startServer(t, 1200, maxConc, disk.Config{SeqBytesPerSec: 20 << 20}, admission.Config{MaxQueue: 64},
+		func(c *core.Config) { c.DisableZoneMaps = true })
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 

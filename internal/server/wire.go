@@ -124,6 +124,14 @@ type PipelineStats struct {
 	FilterOrder   []string      `json:"filter_order"`
 	Filters       []FilterStats `json:"filters"`
 
+	// Two-level scan pruning: pages charged away from queries at
+	// admission, split by cause (§5 partition pruning vs page-level zone
+	// maps), and pages the continuous scan physically skipped because no
+	// resident query's zone-map bitmap needed them.
+	PagesPrunedPartition int64 `json:"pages_pruned_partition,omitempty"`
+	PagesPrunedZonemap   int64 `json:"pages_pruned_zonemap,omitempty"`
+	PagesSkippedZonemap  int64 `json:"pages_skipped_zonemap,omitempty"`
+
 	// State is the pipeline's serving state ("healthy" or "failed");
 	// FailureCause carries the terminal failure for a failed entry. On
 	// the merged entry of a sharded group, State is "failed" only when

@@ -123,6 +123,15 @@ func TestShardParityRandomSSB(t *testing.T) {
 			if !ref.ResultsEqual(gres.Rows, sres.Rows) {
 				t.Fatalf("query %d: %d-shard group diverges from single pipeline", qi, n)
 			}
+			// Page-level pruning parity on the strided topology: each
+			// shard makes the same per-page zone-map decisions as the
+			// single pipeline (bounds forwarded through the stride
+			// mapping), so the pages charged across shards must sum to
+			// the single pipeline's zone-mapped count exactly.
+			if got := gh.PagesScanned(); got != h.PagesScanned() {
+				t.Fatalf("query %d: %d strided shards charged %d pages, single pipeline %d",
+					qi, n, got, h.PagesScanned())
+			}
 		}
 	}
 }

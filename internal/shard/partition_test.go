@@ -184,7 +184,10 @@ func TestGroupDealsAllPartitions(t *testing.T) {
 // TestShardedPruningPreserved is the pruning-effectiveness check: under a
 // narrow date predicate the pages charged across all shards must equal
 // the single-pipeline pruned count exactly — dealing partitions to shards
-// must not scan a page pruning would have skipped.
+// must not scan a page pruning would have skipped. Since PR 9 the count
+// is page-granular: zone maps prune inside needed partitions, so the
+// parity assertion covers both pruning levels, and a partition-only
+// baseline pins that the page level actually cuts deeper.
 func TestShardedPruningPreserved(t *testing.T) {
 	ds := genPartitionedDataset(t, 4000, 6, disk.Config{})
 	ccfg := core.Config{MaxConcurrent: 8, Workers: 2}
@@ -195,6 +198,14 @@ func TestShardedPruningPreserved(t *testing.T) {
 	}
 	single.Start()
 	t.Cleanup(single.Stop)
+
+	// Partition-granular baseline: §5 pruning only, zone maps off.
+	partOnly, err := core.NewPipeline(ds.Star, core.Config{MaxConcurrent: 8, Workers: 2, DisableZoneMaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partOnly.Start()
+	t.Cleanup(partOnly.Stop)
 
 	queries := []string{
 		// Narrow: first eighth of the date span — a strict partition subset.
@@ -222,6 +233,14 @@ func TestShardedPruningPreserved(t *testing.T) {
 			t.Fatal(res.Err)
 		}
 		singlePages := sh.PagesScanned()
+		ph, err := partOnly.Submit(bind(t, ds, sql))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := ph.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		partOnlyPages := ph.PagesScanned()
 		for _, n := range []int{2, 3} {
 			g, err := shard.New(ds.Star, shard.Config{Shards: n, Core: ccfg})
 			if err != nil {
@@ -243,19 +262,26 @@ func TestShardedPruningPreserved(t *testing.T) {
 			g.Stop()
 		}
 		// Sanity on the pruning itself, so an equality of two broken
-		// counts cannot pass: narrow queries must beat the full table.
+		// counts cannot pass: narrow queries must beat the full table,
+		// and the page level must cut strictly deeper than partitions
+		// alone (a date window rarely covers its partitions page-exactly).
 		switch qi {
 		case 0, 1:
 			if singlePages == 0 || singlePages >= int64(totalPages) {
 				t.Fatalf("query %d: pruning ineffective (%d of %d pages)", qi, singlePages, totalPages)
 			}
+			if singlePages >= partOnlyPages {
+				t.Fatalf("query %d: zone maps charged %d pages, partition-only pruning %d — page level inert",
+					qi, singlePages, partOnlyPages)
+			}
 		case 2:
-			if singlePages != 0 {
-				t.Fatalf("empty-range query scanned %d pages", singlePages)
+			if singlePages != 0 || partOnlyPages != 0 {
+				t.Fatalf("empty-range query scanned %d (zonemap) / %d (partition-only) pages", singlePages, partOnlyPages)
 			}
 		case 3:
-			if singlePages != int64(totalPages) {
-				t.Fatalf("unrestricted query scanned %d of %d pages", singlePages, totalPages)
+			if singlePages != int64(totalPages) || partOnlyPages != int64(totalPages) {
+				t.Fatalf("unrestricted query scanned %d (zonemap) / %d (partition-only) of %d pages",
+					singlePages, partOnlyPages, totalPages)
 			}
 		}
 	}

@@ -639,6 +639,9 @@ func (g *Group) StatsWithShards() (core.Stats, []core.Stats) {
 		out.PagesRead += s.PagesRead
 		out.ScanCycles += s.ScanCycles
 		out.ScanRetries += s.ScanRetries
+		out.PagesPrunedPartition += s.PagesPrunedPartition
+		out.PagesPrunedZonemap += s.PagesPrunedZonemap
+		out.PagesSkippedZonemap += s.PagesSkippedZonemap
 		if s.State == core.ShardFailed {
 			down++
 		}
@@ -855,3 +858,17 @@ func (s *stridedSource) NumPages() int {
 func (s *stridedSource) ReadPage(page int, dst []int64, scratch []byte) (int, error) {
 	return s.src.ReadPage(s.offset+page*s.stride, dst, scratch)
 }
+
+// PageColBounds forwards the zone-map synopsis of the base source under
+// the same page mapping, so a shard's per-page pruning decisions are
+// identical to the single pipeline's for the pages it owns — the
+// page-level half of the pruning-parity invariant. A base source without
+// zone maps answers ok=false (no pruning), never wrong bounds.
+func (s *stridedSource) PageColBounds(page, col int) (min, max int64, ok bool) {
+	if b, isB := s.src.(core.BoundsSource); isB {
+		return b.PageColBounds(s.offset+page*s.stride, col)
+	}
+	return 0, 0, false
+}
+
+var _ core.BoundsSource = (*stridedSource)(nil)

@@ -39,6 +39,13 @@ type HeapFile struct {
 	tail       []byte  // partially filled page, not yet on the device
 	tailRows   int
 	nrows      int64
+
+	// Zone-map synopsis (see zonemap.go): per flushed page, 2*ncols
+	// values (min then max for each column); tailMin/tailMax track the
+	// not-yet-flushed tail.
+	pageBounds []int64
+	tailMin    []int64
+	tailMax    []int64
 }
 
 // CreateHeap creates an empty raw heap for rows of ncols columns on dev.
@@ -71,6 +78,8 @@ func CreateHeapCodec(dev *disk.Device, ncols int, codec Codec) *HeapFile {
 		rowsPerPage: rpp,
 		codec:       codec,
 		tail:        make([]byte, PageSize),
+		tailMin:     make([]int64, ncols),
+		tailMax:     make([]int64, ncols),
 	}
 }
 
@@ -151,10 +160,12 @@ func (h *HeapFile) appendLocked(row []int64) {
 	for c, v := range row {
 		binary.LittleEndian.PutUint64(h.tail[base+8*c:], uint64(v))
 	}
+	h.boundsAppendLocked(row)
 	h.tailRows++
 	h.nrows++
 	binary.LittleEndian.PutUint32(h.tail, uint32(h.tailRows))
 	if h.tailRows == h.rowsPerPage {
+		h.boundsFlushLocked()
 		if h.codec == Raw {
 			off := h.dev.Append(h.tail)
 			h.pageOffs = append(h.pageOffs, off)
@@ -193,9 +204,14 @@ func (h *HeapFile) UpdateCol(idx int64, col int, v int64) error {
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		off := h.pageOffs[page] + int64(pageHeader+slot*h.width+8*col)
-		return h.dev.WriteAt(buf[:], off)
+		if err := h.dev.WriteAt(buf[:], off); err != nil {
+			return err
+		}
+		h.boundsWidenLocked(page, col, v)
+		return nil
 	}
 	binary.LittleEndian.PutUint64(h.tail[pageHeader+slot*h.width+8*col:], uint64(v))
+	h.boundsWidenLocked(page, col, v)
 	return nil
 }
 

@@ -1,0 +1,102 @@
+package storage
+
+import "fmt"
+
+// Zone maps (small materialized aggregates): every heap keeps a per-page,
+// per-column min/max synopsis, computed incrementally as rows are appended
+// and frozen when the page flushes. The synopsis is stored as a flat
+// []int64 — 2*ncols values per flushed page — so a scan can test a page
+// against a predicate range without touching the device. Bounds are
+// computed on the pre-encoded values, so they are exact for every codec.
+//
+// The in-memory tail page is still mutable, so it deliberately has no
+// published bounds: PageColBounds answers ok=false for it and readers must
+// treat it as matching everything. UpdateCol only ever widens bounds, so a
+// stale synopsis is conservative (less pruning), never unsound.
+
+// PageBounds is the synopsis of one column over one flushed page.
+type PageBounds struct {
+	Min, Max int64
+}
+
+// PageColBounds returns the min/max of column col over the given flushed
+// page. ok is false for the tail page, for pages that do not exist, and
+// for out-of-range columns — callers must then assume the page can
+// contain any value.
+func (h *HeapFile) PageColBounds(page, col int) (min, max int64, ok bool) {
+	if col < 0 || col >= h.ncols {
+		return 0, 0, false
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if page < 0 || page >= len(h.pageOffs) {
+		return 0, 0, false
+	}
+	i := (page*h.ncols + col) * 2
+	return h.pageBounds[i], h.pageBounds[i+1], true
+}
+
+// ColBounds returns a copy of the synopsis for column col over all
+// flushed pages, in page order. The tail page is excluded.
+func (h *HeapFile) ColBounds(col int) ([]PageBounds, error) {
+	if col < 0 || col >= h.ncols {
+		return nil, fmt.Errorf("storage: ColBounds column %d out of range", col)
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]PageBounds, len(h.pageOffs))
+	for p := range out {
+		i := (p*h.ncols + col) * 2
+		out[p] = PageBounds{Min: h.pageBounds[i], Max: h.pageBounds[i+1]}
+	}
+	return out, nil
+}
+
+// boundsAppendLocked folds one appended row into the tail synopsis.
+// Called with h.mu held, before tailRows is incremented.
+func (h *HeapFile) boundsAppendLocked(row []int64) {
+	if h.tailRows == 0 {
+		copy(h.tailMin, row)
+		copy(h.tailMax, row)
+		return
+	}
+	for c, v := range row {
+		if v < h.tailMin[c] {
+			h.tailMin[c] = v
+		}
+		if v > h.tailMax[c] {
+			h.tailMax[c] = v
+		}
+	}
+}
+
+// boundsFlushLocked freezes the tail synopsis as the flushed page's bounds.
+func (h *HeapFile) boundsFlushLocked() {
+	for c := 0; c < h.ncols; c++ {
+		h.pageBounds = append(h.pageBounds, h.tailMin[c], h.tailMax[c])
+	}
+}
+
+// boundsWidenLocked widens the synopsis covering (page, col) to admit v.
+// In-place updates never recompute exact bounds — widening keeps the
+// synopsis sound at the cost of pruning precision.
+func (h *HeapFile) boundsWidenLocked(page, col int, v int64) {
+	if page < len(h.pageOffs) {
+		i := (page*h.ncols + col) * 2
+		if v < h.pageBounds[i] {
+			h.pageBounds[i] = v
+		}
+		if v > h.pageBounds[i+1] {
+			h.pageBounds[i+1] = v
+		}
+		return
+	}
+	if h.tailRows > 0 {
+		if v < h.tailMin[col] {
+			h.tailMin[col] = v
+		}
+		if v > h.tailMax[col] {
+			h.tailMax[col] = v
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"cjoin/internal/disk"
+)
+
+// TestZoneMapBoundsExact verifies that every flushed page's synopsis is
+// the exact min/max of the rows it holds, for both the raw and the RLE
+// codec — bounds are computed on pre-encoded values, so compression must
+// not change them.
+func TestZoneMapBoundsExact(t *testing.T) {
+	for _, codec := range []Codec{Raw, RLE} {
+		h := CreateHeapCodec(disk.NewMem(), 3, codec)
+		rng := rand.New(rand.NewSource(7))
+		const n = 4000
+		rows := make([][]int64, 0, n)
+		for i := 0; i < n; i++ {
+			row := []int64{rng.Int63n(1000) - 500, int64(i), rng.Int63n(5)}
+			rows = append(rows, row)
+			h.Append(row)
+		}
+		rpp := h.RowsPerPage()
+		for page := 0; page < h.FlushedPages(); page++ {
+			for col := 0; col < 3; col++ {
+				wantMin, wantMax := rows[page*rpp][col], rows[page*rpp][col]
+				for _, row := range rows[page*rpp : (page+1)*rpp] {
+					if row[col] < wantMin {
+						wantMin = row[col]
+					}
+					if row[col] > wantMax {
+						wantMax = row[col]
+					}
+				}
+				min, max, ok := h.PageColBounds(page, col)
+				if !ok || min != wantMin || max != wantMax {
+					t.Fatalf("codec %v page %d col %d: bounds [%d,%d] ok=%v, want [%d,%d]",
+						codec, page, col, min, max, ok, wantMin, wantMax)
+				}
+			}
+		}
+	}
+}
+
+// TestZoneMapTailConservative pins the tail-page contract: the mutable
+// in-memory tail has no published bounds (ok=false), as do pages that do
+// not exist and out-of-range columns.
+func TestZoneMapTailConservative(t *testing.T) {
+	h := CreateHeap(disk.NewMem(), 2)
+	for i := int64(0); i < int64(h.RowsPerPage())+5; i++ {
+		h.Append([]int64{i, -i})
+	}
+	if h.FlushedPages() != 1 || h.NumPages() != 2 {
+		t.Fatalf("layout: %d flushed, %d total", h.FlushedPages(), h.NumPages())
+	}
+	if _, _, ok := h.PageColBounds(0, 0); !ok {
+		t.Fatal("flushed page has no bounds")
+	}
+	if _, _, ok := h.PageColBounds(1, 0); ok {
+		t.Fatal("tail page published bounds; readers would prune unflushed rows")
+	}
+	if _, _, ok := h.PageColBounds(2, 0); ok {
+		t.Fatal("nonexistent page published bounds")
+	}
+	if _, _, ok := h.PageColBounds(0, 9); ok {
+		t.Fatal("out-of-range column published bounds")
+	}
+}
+
+// TestZoneMapUpdateColWidens verifies in-place updates keep the synopsis
+// sound by widening: an update outside the page's current bounds extends
+// them; bounds never shrink (stale-but-wide is conservative, not wrong).
+func TestZoneMapUpdateColWidens(t *testing.T) {
+	h := CreateHeap(disk.NewMem(), 2)
+	rpp := h.RowsPerPage()
+	for i := 0; i < 2*rpp+3; i++ {
+		h.Append([]int64{100, 200})
+	}
+
+	// Widen a flushed page down and up.
+	if err := h.UpdateCol(1, 0, -7); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UpdateCol(2, 0, 999); err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := h.PageColBounds(0, 0)
+	if !ok || min != -7 || max != 999 {
+		t.Fatalf("page 0 bounds [%d,%d] ok=%v after updates, want [-7,999]", min, max, ok)
+	}
+	// An update inside the current bounds must not shrink them: the row
+	// written at -7 still exists from the synopsis's point of view.
+	if err := h.UpdateCol(1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if min, _, _ := h.PageColBounds(0, 0); min != -7 {
+		t.Fatalf("page 0 min %d after inside-bounds update, want -7 (widen-only)", min)
+	}
+	// Untouched page keeps its exact bounds.
+	if min, max, _ := h.PageColBounds(1, 0); min != 100 || max != 100 {
+		t.Fatalf("page 1 bounds [%d,%d], want [100,100]", min, max)
+	}
+
+	// Tail updates fold into the pending synopsis, surfaced at flush.
+	if err := h.UpdateCol(int64(2*rpp), 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rpp-3; i++ {
+		h.Append([]int64{100, 200})
+	}
+	if h.FlushedPages() != 3 {
+		t.Fatalf("%d flushed pages, want 3", h.FlushedPages())
+	}
+	if min, max, _ := h.PageColBounds(2, 1); min != -1 || max != 200 {
+		t.Fatalf("flushed tail bounds [%d,%d], want [-1,200]", min, max)
+	}
+}
+
+// TestColBounds verifies the bulk accessor agrees with PageColBounds and
+// rejects bad columns.
+func TestColBounds(t *testing.T) {
+	h := CreateHeap(disk.NewMem(), 2)
+	for i := int64(0); i < 3000; i++ {
+		h.Append([]int64{i, i % 11})
+	}
+	for col := 0; col < 2; col++ {
+		bs, err := h.ColBounds(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bs) != h.FlushedPages() {
+			t.Fatalf("col %d: %d entries, %d flushed pages", col, len(bs), h.FlushedPages())
+		}
+		for p, b := range bs {
+			min, max, ok := h.PageColBounds(p, col)
+			if !ok || b.Min != min || b.Max != max {
+				t.Fatalf("col %d page %d: ColBounds [%d,%d] vs PageColBounds [%d,%d] ok=%v",
+					col, p, b.Min, b.Max, min, max, ok)
+			}
+		}
+	}
+	if _, err := h.ColBounds(5); err == nil {
+		t.Fatal("ColBounds(5) on a 2-column heap succeeded")
+	}
+}

@@ -29,7 +29,11 @@ for i in $(seq 1 6); do
   curl -sf "$BASE/query" \
     -d '{"sql":"SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year"}' >/dev/null
 done
-for i in $(seq 1 6); do
+# A narrow date window: the fact table is date-sorted, so page-level
+# zone maps must prune most of its scan (metrics asserted below).
+curl -sf "$BASE/query" \
+  -d '{"sql":"SELECT SUM(lo_revenue) AS rev, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_datekey BETWEEN 19920101 AND 19920401 GROUP BY d_year"}' >/dev/null
+for i in $(seq 1 7); do
   id=$(printf 'q-%06d' "$i")
   state=$(curl -sf "$BASE/query/$id/result?timeout=60s" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
   [ "$state" = "done" ] || { echo "query $id state=$state"; exit 1; }
@@ -49,6 +53,8 @@ for fam in \
   cjoin_dimplane_snapshot_publish_total \
   cjoin_dimplane_admit_batch_size_bucket \
   cjoin_scan_pages_total \
+  cjoin_scan_pruned_pages_total \
+  cjoin_scan_zonemap_skipped_pages_total \
   cjoin_scan_cycle_seconds_count \
   cjoin_filter_batch_seconds_count \
   cjoin_shard_up \
@@ -64,6 +70,11 @@ awk '$1=="cjoin_dimplane_cache_hits_total" && $2+0 > 0 {found=1} END{exit !found
   || { echo "no dimension predicate cache hits recorded"; exit 1; }
 awk '$1=="cjoin_dimplane_snapshot_publish_total" && $2+0 > 0 {found=1} END{exit !found}' /tmp/metrics-smoke.txt \
   || { echo "no dimension snapshot publications recorded"; exit 1; }
+# The narrow-window query must have been pruned at page granularity:
+# zone maps charged it fewer pages than the table holds, and the pruned
+# counter (cause="zonemap") records the difference across the shards.
+awk '/^cjoin_scan_pruned_pages_total\{cause="zonemap"/ {sum += $NF+0} END{exit !(sum > 0)}' /tmp/metrics-smoke.txt \
+  || { echo "no zone-map page pruning recorded for the narrow window"; exit 1; }
 # Per-shard labeling: both shard pipelines must report.
 for s in 0 1; do
   grep -q "cjoin_scan_pages_total{shard=\"$s\"}" /tmp/metrics-smoke.txt \
