@@ -6,16 +6,16 @@ GO        ?= go
 BENCH_N   ?= 1
 BENCHTIME ?= 1s
 
-.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke chaos-smoke metrics-smoke
+.PHONY: all build test race race-core bench vet ci dimadmit-smoke shardparts-smoke chaos-smoke metrics-smoke updates-smoke
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml): vet + build + full tests,
 # the concurrency-heavy packages under the race detector, smoke runs
 # of the shared-dimension-plane and partition-dealt experiments over
-# 2-shard groups, the shard-loss chaos smoke, and the telemetry-plane
-# metrics smoke.
-ci: vet build test race-core dimadmit-smoke shardparts-smoke chaos-smoke metrics-smoke
+# 2-shard groups, the shard-loss chaos smoke, the telemetry-plane
+# metrics smoke, and the HTAP write-plane smoke.
+ci: vet build test race-core dimadmit-smoke shardparts-smoke chaos-smoke metrics-smoke updates-smoke
 
 # End-to-end smoke of the admit-once execution tier: the dimadmit
 # experiment exercises plane admission, fan-out activation, and merged
@@ -43,8 +43,15 @@ chaos-smoke:
 metrics-smoke:
 	./scripts/metrics-smoke.sh
 
+# End-to-end HTAP write plane: POST /update commits (append, delete,
+# dimension rewrite) against cjoind -shards 2, snapshot contiguity past
+# a failed commit, predicate-cache invalidation, and the write-plane
+# metric families (scripts/updates-smoke.sh).
+updates-smoke:
+	./scripts/updates-smoke.sh
+
 race-core:
-	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/dimplane ./internal/query ./internal/shard ./internal/obs ./internal/storage
+	$(GO) test -race -timeout 900s ./internal/core ./internal/admission ./internal/server ./internal/bitvec ./internal/dimht ./internal/dimplane ./internal/query ./internal/shard ./internal/obs ./internal/storage ./internal/txn
 
 build:
 	$(GO) build ./...

@@ -193,35 +193,36 @@ func (w *Warehouse) CommitFacts(rows [][]any) (Snapshot, error) {
 		return 0, fmt.Errorf("cjoin: no fact table defined")
 	}
 	encoded := make([][]int64, 0, len(rows))
-	var encErr error
-	snap := w.txn.Commit(func(id uint64) {
+	return w.txn.CommitErr(func(id uint64) error {
 		for _, vals := range rows {
 			row, err := w.fact.encode(vals, int64(id))
 			if err != nil {
-				encErr = err
-				return
+				return err
 			}
 			encoded = append(encoded, row)
 		}
 		w.fact.tab.Heap.AppendBatch(encoded)
+		return nil
 	})
-	if encErr != nil {
-		return 0, encErr
-	}
-	return snap, nil
 }
 
 // DeleteFact marks the fact row at index idx deleted; the deletion is
-// visible to snapshots taken after it returns.
+// visible to snapshots taken after it returns. A failed delete
+// (out-of-range index, already-deleted row) publishes no commit id.
 func (w *Warehouse) DeleteFact(idx int64) (Snapshot, error) {
 	if w.fact == nil {
 		return 0, fmt.Errorf("cjoin: no fact table defined")
 	}
-	var err error
-	snap := w.txn.Commit(func(id uint64) {
-		err = w.fact.tab.Heap.UpdateCol(idx, 1, int64(id))
+	return w.txn.CommitErr(func(id uint64) error {
+		row, err := w.fact.tab.Heap.RowAt(idx)
+		if err != nil {
+			return err
+		}
+		if row[1] != 0 {
+			return fmt.Errorf("cjoin: fact row %d already deleted at commit %d", idx, row[1])
+		}
+		return w.fact.tab.Heap.UpdateCol(idx, 1, int64(id))
 	})
-	return snap, err
 }
 
 // DefineStar declares the star schema: the fact table plus its

@@ -2,12 +2,14 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"cjoin/internal/expr"
 	"cjoin/internal/query"
 	"cjoin/internal/ssb"
 	"cjoin/internal/storage"
+	"cjoin/internal/txn"
 )
 
 func fcol(idx int) expr.Col    { return expr.Col{Slot: 0, Idx: idx} }
@@ -111,15 +113,26 @@ func TestFactScanSkipsPages(t *testing.T) {
 // RLE-compressed heaps (bounds computed pre-encoding). A page the bitmap
 // drops while a qualifying row lives on it would silently corrupt
 // results; this test fails before that can hide behind aggregation.
+//
+// The churn variant interleaves AppendFact/DeleteFact commits between
+// queries and pins half of them at older snapshots: appended rows land
+// on the unpublished tail (no synopsis ⇒ conservatively needed),
+// deletions rewrite lo_xmax through the widen-only bounds path, and
+// neither may ever prune a page holding a row visible to a query's
+// snapshot — the MVCC face of the same soundness property.
 func TestNeedPagesCoverQualifyingRows(t *testing.T) {
 	for _, tc := range []struct {
 		name     string
 		compress bool
 		parts    int
+		churn    bool
 	}{
-		{"raw-unpartitioned", false, 0},
-		{"rle-unpartitioned", true, 0},
-		{"raw-partitioned", false, 3},
+		{"raw-unpartitioned", false, 0, false},
+		{"rle-unpartitioned", true, 0, false},
+		{"raw-partitioned", false, 3, false},
+		// Only the raw unpartitioned heap takes writes: partitioned
+		// stars are static and RLE pages reject in-place xmax updates.
+		{"raw-unpartitioned-churn", false, 0, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			ds, err := ssb.Generate(ssb.Config{
@@ -137,12 +150,34 @@ func TestNeedPagesCoverQualifyingRows(t *testing.T) {
 			t.Cleanup(p.Stop)
 
 			w := ssb.NewWorkload(ds, 0.05, 17)
+			rng := rand.New(rand.NewSource(23))
+			snapshots := []txn.Snapshot{ds.Txn.Begin()}
+			var delCursor int64
 			sawBitmap := false
 			for i := 0; i < 12; i++ {
+				if tc.churn && i > 0 {
+					if _, err := ds.AppendFact(40, rng); err != nil {
+						t.Fatal(err)
+					}
+					for k := 0; k < 5; k++ {
+						if _, err := ds.DeleteFact(delCursor); err != nil {
+							t.Fatal(err)
+						}
+						delCursor++
+					}
+					snapshots = append(snapshots, ds.Txn.Begin())
+				}
 				_, text := w.Next()
 				q, err := query.ParseBind(text, ds.Star)
 				if err != nil {
 					t.Fatal(err)
+				}
+				// Half the churn queries evaluate at the latest snapshot,
+				// half pinned at an arbitrary older one — the bitmap must
+				// stay sound for queries admitted before later commits.
+				q.Snapshot = snapshots[len(snapshots)-1]
+				if tc.churn && i%2 == 1 {
+					q.Snapshot = snapshots[rng.Intn(len(snapshots))]
 				}
 				h, err := p.Submit(q)
 				if err != nil {
@@ -175,6 +210,9 @@ func TestNeedPagesCoverQualifyingRows(t *testing.T) {
 						}
 						for r := 0; r < n; r++ {
 							row := dst[r*ncols : (r+1)*ncols]
+							if !txn.Visible(row[ssb.LoXmin], row[ssb.LoXmax], q.Snapshot) {
+								continue
+							}
 							qualifies := true
 							for _, cr := range rq.pruneRanges {
 								if row[cr.col] < cr.min || row[cr.col] > cr.max {
@@ -183,8 +221,8 @@ func TestNeedPagesCoverQualifyingRows(t *testing.T) {
 								}
 							}
 							if qualifies && !rq.pageNeeded(li, pg) {
-								t.Fatalf("partition %d page %d holds a qualifying row but is not needed: %s",
-									li, pg, text)
+								t.Fatalf("partition %d page %d holds a qualifying row visible at snapshot %d but is not needed: %s",
+									li, pg, q.Snapshot, text)
 							}
 						}
 					}

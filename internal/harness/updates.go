@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cjoin/internal/agg"
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+)
+
+// updatesAppendBatch is the rows-per-append-commit of the bench writer;
+// commits alternate one append batch with one single-row delete, so a
+// sustained rate of R commits/s appends ~R*batch/2 and deletes ~R/2
+// rows per second.
+const updatesAppendBatch = 4
+
+// writerStats is what the sustained writer achieved during one cell.
+type writerStats struct {
+	commits  int64
+	appended int64
+	deleted  int64
+	elapsed  time.Duration
+}
+
+// runWriter issues snapshot-isolated commits at the target rate until
+// stop closes: alternating AppendFact batches and sequential DeleteFact
+// commits (a row is never deleted twice — re-stamping xmax would
+// resurrect it for intermediate snapshots). rate <= 0 means off.
+func (e *Env) runWriter(rate int, stop <-chan struct{}, errOut *error, st *writerStats) {
+	if rate <= 0 {
+		return
+	}
+	interval := time.Second / time.Duration(rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	wrng := rand.New(rand.NewSource(e.Cfg.Seed + 7919))
+	var delCursor int64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	start := time.Now()
+	defer func() { st.elapsed = time.Since(start) }()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		if i%2 == 0 {
+			if _, err := e.Dataset.AppendFact(updatesAppendBatch, wrng); err != nil {
+				*errOut = err
+				return
+			}
+			st.appended += updatesAppendBatch
+		} else {
+			if _, err := e.Dataset.DeleteFact(delCursor); err != nil {
+				*errOut = err
+				return
+			}
+			delCursor++
+			st.deleted++
+		}
+		st.commits++
+	}
+}
+
+// RunUpdates measures the HTAP write plane (§3.5): the closed-loop query
+// workload at concurrency n, run once with the writer off (the read-only
+// baseline) and once per swept sustained write rate. Each cell gets a
+// fresh dataset so heap geometry is comparable; each query's snapshot is
+// stamped at submission — never at batch dispatch — and after the loop
+// quiesces every sampled query is re-executed through internal/ref at
+// its own snapshot and compared bit-exactly. A write plane that corrupts
+// any admitted query's answer aborts the sweep; it never becomes a data
+// point.
+func RunUpdates(cfg Config, rates []int, n int) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Partitions > 1 {
+		return Figure{}, fmt.Errorf("harness: partitioned stars are static; -exp updates needs -partitions <= 1")
+	}
+	if len(rates) == 0 {
+		rates = []int{0, 50, 200, 1000}
+	}
+	if n <= 0 {
+		n = 16
+	}
+	fig := Figure{
+		ID:     "updates",
+		Title:  fmt.Sprintf("HTAP write plane: %d-query closed loop vs sustained commit rate (0 = writer off)", n),
+		XLabel: "target write rate (commits/s)",
+		YLabel: "queries/hour, ms, commits/s",
+	}
+	thr := Series{Name: "CJOIN q/hour"}
+	lat := Series{Name: "response mean (ms)"}
+	achieved := Series{Name: "achieved commits/s"}
+	appended := Series{Name: "rows appended"}
+	deleted := Series{Name: "rows deleted"}
+
+	for _, rate := range rates {
+		env, err := NewEnv(cfg)
+		if err != nil {
+			return fig, err
+		}
+		exec, err := env.NewExecutor(core.Config{})
+		if err != nil {
+			return fig, err
+		}
+		work, err := env.buildWork(n, "")
+		if err != nil {
+			exec.Stop()
+			return fig, err
+		}
+
+		stop := make(chan struct{})
+		var wErr error
+		var wst writerStats
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env.runWriter(rate, stop, &wErr, &wst)
+		}()
+
+		// Every query re-stamps its snapshot at submission and keeps its
+		// result for the post-quiesce reference check.
+		type executed struct {
+			template string
+			bound    *query.Bound
+			rows     []agg.Result
+		}
+		var mu sync.Mutex
+		var ran []executed
+		samples, elapsed, err := env.closedLoop(n, work, func(item workItem) (time.Duration, error) {
+			item.bound.Snapshot = env.Dataset.Txn.Begin()
+			h, err := exec.Submit(item.bound)
+			if err != nil {
+				return 0, err
+			}
+			res := h.Wait()
+			if res.Err != nil {
+				return 0, res.Err
+			}
+			mu.Lock()
+			ran = append(ran, executed{template: item.template, bound: item.bound, rows: res.Rows})
+			mu.Unlock()
+			return h.Submission(), nil
+		})
+		close(stop)
+		wg.Wait()
+		exec.Stop()
+		if err != nil {
+			return fig, fmt.Errorf("rate=%d: %w", rate, err)
+		}
+		if wErr != nil {
+			return fig, fmt.Errorf("rate=%d writer: %w", rate, wErr)
+		}
+		// The heap is quiescent now; MVCC visibility at each query's own
+		// snapshot must reproduce exactly what the live run answered.
+		for _, ex := range ran {
+			want, err := ref.Execute(ex.bound)
+			if err != nil {
+				return fig, fmt.Errorf("rate=%d ref: %w", rate, err)
+			}
+			if !ref.ResultsEqual(ex.rows, want) {
+				return fig, fmt.Errorf("rate=%d: template %s diverges from reference at snapshot %d",
+					rate, ex.template, ex.bound.Snapshot)
+			}
+		}
+		m := summarize("CJOIN", n, samples, elapsed)
+		fig.X = append(fig.X, float64(rate))
+		thr.Y = append(thr.Y, m.Throughput)
+		lat.Y = append(lat.Y, float64(m.AllLatency().Mean.Milliseconds()))
+		var cps float64
+		if wst.elapsed > 0 {
+			cps = float64(wst.commits) / wst.elapsed.Seconds()
+		}
+		achieved.Y = append(achieved.Y, cps)
+		appended.Y = append(appended.Y, float64(wst.appended))
+		deleted.Y = append(deleted.Y, float64(wst.deleted))
+	}
+	fig.Series = []Series{thr, lat, achieved, appended, deleted}
+	return fig, nil
+}

@@ -230,6 +230,32 @@ func (c *Client) SubmitRetry(ctx context.Context, sql string, opts SubmitOptions
 	return nil, lastErr
 }
 
+// Update sends one snapshot-isolated write commit (POST /update) and
+// returns the published commit snapshot. A failed commit surfaces as an
+// *APIError and publishes no snapshot server-side.
+func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (server.UpdateResponse, error) {
+	var res server.UpdateResponse
+	err := c.do(ctx, http.MethodPost, "/update", req, &res)
+	return res, err
+}
+
+// AppendFacts commits fact rows (visible columns only) in one
+// transaction and returns the snapshot at which they become visible.
+func (c *Client) AppendFacts(ctx context.Context, rows [][]any) (server.UpdateResponse, error) {
+	return c.Update(ctx, server.UpdateRequest{Op: "append", Rows: rows})
+}
+
+// DeleteFact marks the fact row at index idx deleted.
+func (c *Client) DeleteFact(ctx context.Context, idx int64) (server.UpdateResponse, error) {
+	return c.Update(ctx, server.UpdateRequest{Op: "delete", Row: &idx})
+}
+
+// UpdateDimension rewrites one dimension cell; queries admitted after
+// the returned snapshot see the new value.
+func (c *Client) UpdateDimension(ctx context.Context, table, column string, row int64, value any) (server.UpdateResponse, error) {
+	return c.Update(ctx, server.UpdateRequest{Op: "dim-update", Table: table, Column: column, Row: &row, Value: value})
+}
+
 // Health fetches the serving state: "ok", "degraded" (with the
 // per-shard breakdown), "draining", or "failed". A 503 still decodes
 // the body — "failed" is a state report, not a transport error.

@@ -6,6 +6,7 @@
 // paper's operational story:
 //
 //	POST   /query             submit SQL; 202 + query id (queues under overload)
+//	POST   /update            snapshot-isolated write commit (§3.5 HTAP plane)
 //	GET    /query/{id}        progress / ETA / pages scanned (§3.2.3)
 //	GET    /query/{id}/result block for the decoded rows
 //	GET    /query/{id}/trace  per-query lifecycle timeline (telemetry plane)
@@ -69,6 +70,12 @@ type Server struct {
 	cfg    Config
 	tracer *obs.Tracer
 
+	// Write-plane telemetry (nil-safe handles; no-ops without a registry).
+	mCommits    *obs.CounterVec
+	mCommitErrs *obs.Counter
+	mCommitDur  *obs.Histogram
+	mCacheInval *obs.Counter
+
 	mu       sync.Mutex
 	queries  map[string]*served
 	order    []string // registration order, for eviction
@@ -106,6 +113,15 @@ func New(star *catalog.Star, txm *txn.Manager, exec core.Executor, cfg Config) *
 		tracer:  obs.NewTracer(cfg.MaxTraces),
 		queries: make(map[string]*served),
 		started: time.Now(),
+
+		mCommits: cfg.Metrics.CounterVec("cjoin_commits_total",
+			"Write-plane commits published, by kind (append|delete|dim_update).", "kind"),
+		mCommitErrs: cfg.Metrics.Counter("cjoin_commit_errors_total",
+			"Write-plane commits whose apply failed; no snapshot was published."),
+		mCommitDur: cfg.Metrics.DurationHistogram("cjoin_commit_seconds",
+			"Write-plane commit latency, apply through publish."),
+		mCacheInval: cfg.Metrics.Counter("cjoin_dimcache_invalidations_total",
+			"Dimension predicate-scan cache invalidations forced by dimension-value updates."),
 	}
 }
 
@@ -116,6 +132,7 @@ func (s *Server) Queue() *admission.Queue { return s.adq }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleSubmit)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /query/{id}", s.handleStatus)
 	mux.HandleFunc("GET /query/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /query/{id}/trace", s.handleTrace)

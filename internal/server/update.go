@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"cjoin/internal/catalog"
+	"cjoin/internal/dimplane"
+	"cjoin/internal/txn"
+)
+
+// The write plane (§3.5): POST /update routes snapshot-isolated commits
+// through the same txn.Manager that stamps read snapshots in
+// handleSubmit, so a query admitted before a commit keeps evaluating at
+// its submit-time snapshot while later submissions see the new state.
+//
+//	op "append"     fact rows land on the heap tail with xmin = commit id;
+//	                the tail page has no zone-map synopsis yet, so the
+//	                continuous scan conservatively visits it for every
+//	                resident query.
+//	op "delete"     stamps one fact row's xmax; the widen-only zone-map
+//	                bounds update keeps pages needed by older snapshots.
+//	op "dim-update" rewrites one dimension cell in place and invalidates
+//	                the dimension plane's memoized predicate scans —
+//	                in-place updates leave heap geometry unchanged, so
+//	                the cache's own epoch/geometry check cannot catch
+//	                them.
+
+// planer is implemented by executors that expose their shared dimension
+// plane (core.Pipeline, shard.Group); the server depends on the
+// interface only.
+type planer interface{ Plane() *dimplane.Plane }
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	start := time.Now()
+	var (
+		snap     txn.Snapshot
+		affected int
+		err      error
+		kind     string
+	)
+	switch req.Op {
+	case "append":
+		kind = "append"
+		snap, affected, err = s.applyAppend(&req)
+	case "delete":
+		kind = "delete"
+		snap, affected, err = s.applyDelete(&req)
+	case "dim-update":
+		kind = "dim_update"
+		snap, affected, err = s.applyDimUpdate(&req)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown op %q (want append, delete or dim-update)", req.Op)
+		return
+	}
+	if err != nil {
+		// The commit id was not published (txn.Manager.CommitErr): older
+		// snapshots and the next Begin are unaffected.
+		s.mCommitErrs.Inc()
+		writeErr(w, errStatus(err, http.StatusBadRequest), "%v", err)
+		return
+	}
+	s.mCommits.With(kind).Inc()
+	s.mCommitDur.ObserveSince(start)
+	writeJSON(w, http.StatusOK, UpdateResponse{Op: req.Op, Snapshot: uint64(snap), RowsAffected: affected})
+}
+
+// staticStarError maps "this topology cannot take writes" onto 422: the
+// request is well-formed, the deployment (partitioned star, §5) is
+// load-then-query by construction.
+type staticStarError struct{ msg string }
+
+func (e staticStarError) Error() string   { return e.msg }
+func (e staticStarError) HTTPStatus() int { return http.StatusUnprocessableEntity }
+
+func (s *Server) writableFact() (*catalog.Table, error) {
+	if s.star.PartCol >= 0 {
+		return nil, staticStarError{"partitioned stars are static (load-then-query, §5); fact writes need an unpartitioned deployment"}
+	}
+	fact := s.star.Fact
+	if fact.Hidden < 2 {
+		return nil, staticStarError{fmt.Sprintf("fact table %s carries no xmin/xmax system columns; snapshot-isolated writes are unavailable", fact.Name)}
+	}
+	return fact, nil
+}
+
+func (s *Server) applyAppend(req *UpdateRequest) (txn.Snapshot, int, error) {
+	fact, err := s.writableFact()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(req.Rows) == 0 {
+		return 0, 0, errors.New(`op "append" requires "rows"`)
+	}
+	visible := fact.VisibleColumns()
+	encoded := make([][]int64, 0, len(req.Rows))
+	for ri, vals := range req.Rows {
+		if len(vals) != len(visible) {
+			return 0, 0, fmt.Errorf("row %d: %s has %d columns, got %d values", ri, fact.Name, len(visible), len(vals))
+		}
+		row := make([]int64, len(fact.Columns))
+		for i, v := range vals {
+			ci := fact.Hidden + i
+			cell, err := encodeCell(fact, ci, v)
+			if err != nil {
+				return 0, 0, fmt.Errorf("row %d: %w", ri, err)
+			}
+			row[ci] = cell
+		}
+		encoded = append(encoded, row)
+	}
+	// Encoding happens before the commit so an undecodable row publishes
+	// nothing; inside the commit the batch is all-or-nothing.
+	snap, err := s.txm.CommitErr(func(id uint64) error {
+		for _, row := range encoded {
+			row[0] = int64(id) // xmin
+		}
+		fact.Heap.AppendBatch(encoded)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return snap, len(encoded), nil
+}
+
+func (s *Server) applyDelete(req *UpdateRequest) (txn.Snapshot, int, error) {
+	fact, err := s.writableFact()
+	if err != nil {
+		return 0, 0, err
+	}
+	if req.Row == nil {
+		return 0, 0, errors.New(`op "delete" requires "row"`)
+	}
+	idx := *req.Row
+	snap, err := s.txm.CommitErr(func(id uint64) error {
+		row, err := fact.Heap.RowAt(idx)
+		if err != nil {
+			return err
+		}
+		// Overwriting a non-zero xmax with a later commit id would
+		// resurrect the row for snapshots between the two deletes.
+		if row[1] != 0 {
+			return fmt.Errorf("fact row %d already deleted at commit %d", idx, row[1])
+		}
+		return fact.Heap.UpdateCol(idx, 1, int64(id))
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return snap, 1, nil
+}
+
+func (s *Server) applyDimUpdate(req *UpdateRequest) (txn.Snapshot, int, error) {
+	if req.Table == "" || req.Column == "" || req.Row == nil {
+		return 0, 0, errors.New(`op "dim-update" requires "table", "column" and "row"`)
+	}
+	di := s.star.DimIndex(req.Table)
+	if di < 0 {
+		return 0, 0, fmt.Errorf("unknown dimension table %q (fact writes use op append/delete)", req.Table)
+	}
+	dim := s.star.Dims[di]
+	ci := dim.ColIndex(req.Column)
+	if ci < 0 {
+		return 0, 0, fmt.Errorf("dimension %s has no column %q", dim.Name, req.Column)
+	}
+	if ci == s.star.KeyCol[di] {
+		return 0, 0, fmt.Errorf("column %q is the join key of %s; key updates are not supported", req.Column, dim.Name)
+	}
+	cell, err := encodeCell(dim, ci, req.Value)
+	if err != nil {
+		return 0, 0, err
+	}
+	snap, err := s.txm.CommitErr(func(id uint64) error {
+		return dim.Heap.UpdateCol(*req.Row, ci, cell)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Republish the dimension state for future admissions: queries already
+	// resident keep the bit-vectors their predicates selected at admit
+	// time (the COW semantics of §4), queries admitted after this commit
+	// must re-scan the updated store rather than hit a stale memoized
+	// predicate scan.
+	if pe, ok := s.exec.(planer); ok {
+		if pl := pe.Plane(); pl != nil {
+			pl.InvalidateCache()
+			s.mCacheInval.Inc()
+		}
+	}
+	return snap, 1, nil
+}
+
+// encodeCell turns one JSON value into the column's stored int64:
+// integral numbers for Int columns, dictionary ids for Str columns.
+func encodeCell(t *catalog.Table, ci int, v any) (int64, error) {
+	name := t.Columns[ci].Name
+	switch x := v.(type) {
+	case string:
+		id, err := t.EncodeStr(ci, x)
+		if err != nil {
+			return 0, fmt.Errorf("column %s: %w", name, err)
+		}
+		return id, nil
+	case float64: // every JSON number
+		if x != math.Trunc(x) || math.Abs(x) >= 1<<53 {
+			return 0, fmt.Errorf("column %s: value %v is not an exact integer", name, x)
+		}
+		if t.Dicts[ci] != nil {
+			return 0, fmt.Errorf("column %s is a string column, got number %v", name, x)
+		}
+		return int64(x), nil
+	case int:
+		if t.Dicts[ci] != nil {
+			return 0, fmt.Errorf("column %s is a string column, got number %v", name, x)
+		}
+		return int64(x), nil
+	case int64:
+		if t.Dicts[ci] != nil {
+			return 0, fmt.Errorf("column %s is a string column, got number %v", name, x)
+		}
+		return x, nil
+	default:
+		return 0, fmt.Errorf("column %s: unsupported value type %T", name, v)
+	}
+}

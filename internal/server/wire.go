@@ -15,6 +15,36 @@ type SubmitRequest struct {
 	MaxWaitMillis int64 `json:"max_wait_ms,omitempty"`
 }
 
+// UpdateRequest is the body of POST /update — one snapshot-isolated
+// commit against the warehouse (§3.5).
+type UpdateRequest struct {
+	// Op selects the write: "append" (fact rows), "delete" (one fact
+	// row) or "dim-update" (one dimension cell).
+	Op string `json:"op"`
+	// Rows holds visible-column fact rows for op "append"; system
+	// columns (xmin/xmax) are stamped by the server inside the commit.
+	Rows [][]any `json:"rows,omitempty"`
+	// Row is the target row index: the fact row for op "delete", the
+	// dimension row for op "dim-update".
+	Row *int64 `json:"row,omitempty"`
+	// Table and Column address the dimension cell for op "dim-update".
+	Table  string `json:"table,omitempty"`
+	Column string `json:"column,omitempty"`
+	// Value is the new cell value (number for Int columns, string for
+	// dictionary columns).
+	Value any `json:"value,omitempty"`
+}
+
+// UpdateResponse is the body of a successful POST /update.
+type UpdateResponse struct {
+	Op string `json:"op"`
+	// Snapshot is the published commit id: queries whose snapshot is
+	// >= this value see the write, earlier snapshots do not. A failed
+	// commit publishes no snapshot (the request errors instead).
+	Snapshot     uint64 `json:"snapshot"`
+	RowsAffected int    `json:"rows_affected"`
+}
+
 // QueryStatus describes one submitted query; it is returned by
 // POST /query (202) and GET /query/{id}.
 type QueryStatus struct {

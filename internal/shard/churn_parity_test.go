@@ -1,0 +1,136 @@
+package shard_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cjoin/internal/core"
+	"cjoin/internal/query"
+	"cjoin/internal/ref"
+	"cjoin/internal/shard"
+	"cjoin/internal/ssb"
+)
+
+// TestShardParityUnderChurn is the HTAP face of the parity property:
+// randomized append/delete commits keep landing on the shared heap while
+// queries run against a single pipeline and strided groups of 2 and 3
+// shards. Every query's snapshot is stamped at submit, and its results
+// must stay bit-exact against internal/ref evaluated at that same
+// snapshot — MVCC visibility, not scan timing, decides what each query
+// sees. Page-count parity is deliberately NOT asserted here: the heap
+// grows between submissions, so executors admit the same query over
+// different geometries.
+func TestShardParityUnderChurn(t *testing.T) {
+	ds, err := ssb.Generate(ssb.Config{SF: 1, FactRowsPerSF: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.Config{MaxConcurrent: 8, Workers: 2}
+
+	single, err := core.NewPipeline(ds.Star, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Start()
+	t.Cleanup(single.Stop)
+
+	groups := make(map[int]*shard.Group)
+	for _, n := range []int{2, 3} {
+		g, err := shard.New(ds.Star, shard.Config{Shards: n, Core: ccfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		t.Cleanup(g.Stop)
+		groups[n] = g
+	}
+
+	// Writer: bursts of appends plus sequential deletes (a row is never
+	// deleted twice — re-stamping xmax with a later commit id would
+	// resurrect it for intermediate snapshots).
+	stop := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(99))
+		var delCursor int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ds.AppendFact(wrng.Intn(30)+1, wrng); err != nil {
+				writerErr = err
+				return
+			}
+			for k := 0; k < wrng.Intn(8)+1; k++ {
+				if _, err := ds.DeleteFact(delCursor); err != nil {
+					writerErr = err
+					return
+				}
+				delCursor++
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	w := ssb.NewWorkload(ds, 0.05, 13)
+	for qi := 0; qi < 15; qi++ {
+		_, text := w.Next()
+		b, err := query.ParseBind(text, ds.Star)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", qi, text, err)
+		}
+		// The submit-time snapshot decides visibility for every executor
+		// and for the reference run below, no matter how much the writer
+		// commits while the scans are in flight.
+		b.Snapshot = ds.Txn.Begin()
+
+		h, err := single.Submit(b)
+		if err != nil {
+			t.Fatalf("query %d single submit: %v", qi, err)
+		}
+		handles := map[int]core.Handle{}
+		for n, g := range groups {
+			gh, err := g.Submit(b)
+			if err != nil {
+				t.Fatalf("query %d group(%d) submit: %v", qi, n, err)
+			}
+			handles[n] = gh
+		}
+
+		want, err := ref.Execute(b)
+		if err != nil {
+			t.Fatalf("query %d ref: %v", qi, err)
+		}
+		sres := h.Wait()
+		if sres.Err != nil {
+			t.Fatalf("query %d single: %v", qi, sres.Err)
+		}
+		if !ref.ResultsEqual(sres.Rows, want) {
+			t.Fatalf("query %d: single pipeline diverges from ref at snapshot %d\nquery: %s\n got: %s\nwant: %s",
+				qi, b.Snapshot, text, dump(sres.Rows), dump(want))
+		}
+		for n, gh := range handles {
+			gres := gh.Wait()
+			if gres.Err != nil {
+				t.Fatalf("query %d group(%d): %v", qi, n, gres.Err)
+			}
+			if !ref.ResultsEqual(gres.Rows, want) {
+				t.Fatalf("query %d: %d-shard group diverges from ref at snapshot %d\nquery: %s\n got: %s\nwant: %s",
+					qi, n, b.Snapshot, text, dump(gres.Rows), dump(want))
+			}
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+}

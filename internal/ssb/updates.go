@@ -26,19 +26,25 @@ func (ds *Dataset) AppendFact(n int, rng *rand.Rand) (txn.Snapshot, error) {
 }
 
 // DeleteFact marks the fact row at index idx deleted in a new commit and
-// returns the snapshot at which the deletion is visible.
+// returns the snapshot at which the deletion is visible. A failed delete
+// (out-of-range index, already-deleted row, compressed page) does not
+// publish a commit id: Begin continues to return the previous snapshot.
 func (ds *Dataset) DeleteFact(idx int64) (txn.Snapshot, error) {
 	if ds.Star.PartCol >= 0 {
 		return 0, fmt.Errorf("ssb: partitioned datasets are static")
 	}
-	var err error
-	snap := ds.Txn.Commit(func(id uint64) {
-		err = ds.Lineorder.Heap.UpdateCol(idx, LoXmax, int64(id))
+	return ds.Txn.CommitErr(func(id uint64) error {
+		row, err := ds.Lineorder.Heap.RowAt(idx)
+		if err != nil {
+			return err
+		}
+		// Overwriting a non-zero xmax with a later commit id would
+		// resurrect the row for snapshots between the two deletes.
+		if row[LoXmax] != 0 {
+			return fmt.Errorf("ssb: fact row %d already deleted at commit %d", idx, row[LoXmax])
+		}
+		return ds.Lineorder.Heap.UpdateCol(idx, LoXmax, int64(id))
 	})
-	if err != nil {
-		return 0, err
-	}
-	return snap, nil
 }
 
 // randFactRow builds one fact row with xmin/xmax zeroed; callers stamp

@@ -29,12 +29,28 @@ func (m *Manager) Begin() Snapshot {
 // becomes visible to snapshots taken after apply returns. apply must stamp
 // xmin (and xmax for deletions) with the given id.
 func (m *Manager) Commit(apply func(commitID uint64)) Snapshot {
+	snap, _ := m.CommitErr(func(id uint64) error {
+		apply(id)
+		return nil
+	})
+	return snap
+}
+
+// CommitErr runs apply with a fresh commit id and publishes it only if
+// apply succeeds. On error the commit id is not published: Begin continues
+// to return the previous snapshot and the same id is reissued to the next
+// commit, so a failed apply leaves no phantom committed state behind.
+// apply must either stamp every tuple it touches with the given id or
+// leave the heap untouched when it returns an error.
+func (m *Manager) CommitErr(apply func(commitID uint64) error) (Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := m.cur + 1
-	apply(id)
+	if err := apply(id); err != nil {
+		return 0, err
+	}
 	m.cur = id
-	return Snapshot(id)
+	return Snapshot(id), nil
 }
 
 // Visible reports whether a tuple with the given xmin/xmax system column

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -71,6 +72,54 @@ func TestCommitSerialization(t *testing.T) {
 		if !seen[id] {
 			t.Fatalf("commit id %d skipped", id)
 		}
+	}
+}
+
+// A failed commit must not advance the published snapshot: before the
+// fix, callers that plumbed an error out of the apply callback (e.g.
+// ssb.DeleteFact on an out-of-range index) still left cur advanced, so
+// later Begin() snapshots observed a phantom committed state with no
+// tuples stamped at that id.
+func TestFailedCommitDoesNotAdvanceSnapshot(t *testing.T) {
+	var m Manager
+	snap, err := m.CommitErr(func(id uint64) error {
+		if id != 1 {
+			t.Fatalf("first commit id = %d, want 1", id)
+		}
+		return nil
+	})
+	if err != nil || snap != 1 {
+		t.Fatalf("CommitErr = (%d, %v), want (1, nil)", snap, err)
+	}
+	if got := m.Begin(); got != 1 {
+		t.Fatalf("Begin after commit = %d, want 1", got)
+	}
+
+	boom := errors.New("apply failed")
+	snap, err = m.CommitErr(func(id uint64) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("CommitErr error = %v, want %v", err, boom)
+	}
+	if snap != 0 {
+		t.Fatalf("failed CommitErr snapshot = %d, want 0", snap)
+	}
+	if got := m.Begin(); got != 1 {
+		t.Fatalf("Begin after failed commit = %d, want 1 (phantom commit published)", got)
+	}
+
+	// The id a failed commit tried to use is reissued to the next commit:
+	// the committed sequence has no holes.
+	snap, err = m.CommitErr(func(id uint64) error {
+		if id != 2 {
+			t.Fatalf("commit id after failure = %d, want 2", id)
+		}
+		return nil
+	})
+	if err != nil || snap != 2 {
+		t.Fatalf("CommitErr after failure = (%d, %v), want (2, nil)", snap, err)
+	}
+	if got := m.Begin(); got != 2 {
+		t.Fatalf("Begin = %d, want 2", got)
 	}
 }
 
